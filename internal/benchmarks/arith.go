@@ -1,0 +1,157 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+)
+
+// CuccaroAdder returns the CDKM ripple-carry adder computing b <- a + b with
+// carry-in and carry-out, built from MAJ/UMA blocks (Cuccaro et al. 2004).
+// Wire order: cin, a[0..n-1], b[0..n-1], cout; 2n+2 qubits and 2n Toffolis.
+// The paper's cuccaro_adder-20 is CuccaroAdder(9).
+func CuccaroAdder(n int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("benchmarks: adder width must be >= 1, got %d", n)
+	}
+	c := circuit.New(2*n + 2)
+	cin := 0
+	a := func(i int) int { return 1 + i }
+	b := func(i int) int { return 1 + n + i }
+	cout := 2*n + 1
+
+	maj := func(x, y, z int) { // MAJ(c, b, a)
+		c.CX(z, y)
+		c.CX(z, x)
+		c.CCX(x, y, z)
+	}
+	uma := func(x, y, z int) { // UMA, 2-CNOT variant
+		c.CCX(x, y, z)
+		c.CX(z, x)
+		c.CX(x, y)
+	}
+
+	maj(cin, b(0), a(0))
+	for i := 1; i < n; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.CX(a(n-1), cout)
+	for i := n - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	return c, nil
+}
+
+// TakahashiAdder returns the Takahashi-Tani-Kunihiro ripple adder computing
+// b <- a + b (mod 2^n) with no ancilla (Takahashi et al. 2009).
+// Wire order: a[0..n-1], b[0..n-1]; 2n qubits and 2(n-1) Toffolis.
+// The paper's takahashi_adder-20 is TakahashiAdder(10).
+func TakahashiAdder(n int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("benchmarks: adder width must be >= 1, got %d", n)
+	}
+	c := circuit.New(2 * n)
+	a := func(i int) int { return i }
+	b := func(i int) int { return n + i }
+	if n == 1 {
+		c.CX(a(0), b(0))
+		return c, nil
+	}
+
+	// Step 1: copy phase.
+	for i := 1; i < n; i++ {
+		c.CX(a(i), b(i))
+	}
+	// Step 2: prepare the carry chain on the a register.
+	for i := n - 2; i >= 1; i-- {
+		c.CX(a(i), a(i+1))
+	}
+	// Step 3: compute carries into a.
+	for i := 0; i < n-1; i++ {
+		c.CCX(a(i), b(i), a(i+1))
+	}
+	// Step 4: add carries into b while uncomputing them from a.
+	for i := n - 1; i >= 1; i-- {
+		c.CX(a(i), b(i))
+		c.CCX(a(i-1), b(i-1), a(i))
+	}
+	// Step 5: undo the carry-chain preparation.
+	for i := 1; i < n-1; i++ {
+		c.CX(a(i), a(i+1))
+	}
+	// Step 6: re-add a into the sum bits (step 4 cancelled it while adding
+	// carries), then the low-order sum bit.
+	for i := 1; i < n; i++ {
+		c.CX(a(i), b(i))
+	}
+	c.CX(a(0), b(0))
+	return c, nil
+}
+
+// IncrementerBorrowedBit returns an n-bit incrementer (register <- register
+// + 1 mod 2^n) that uses one borrowed bit in an arbitrary state, restored at
+// the end (after Gidney's borrowed-bit incrementer constructions).
+// Wire order: r[0..n-1] (little-endian), borrowed; n+1 qubits.
+// The paper's incrementer_borrowedbit-5 is IncrementerBorrowedBit(4).
+//
+// Each carry bit r[j] flips when all lower bits are 1, computed high-to-low
+// with multi-controlled X gates that borrow the spare bit (and already-
+// processed higher bits) through the Barenco V-chain.
+func IncrementerBorrowedBit(n int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("benchmarks: incrementer width must be >= 1, got %d", n)
+	}
+	c := circuit.New(n + 1)
+	borrowed := n
+	for j := n - 1; j >= 1; j-- {
+		avail := append([]int{borrowed}, seq(j+1, n-1-j)...)
+		if err := decompose.MCXBorrowed(c, seq(0, j), j, avail); err != nil {
+			return nil, err
+		}
+	}
+	c.X(0)
+	return c, nil
+}
+
+// QFTAdder returns the Draper adder computing b <- a + b (mod 2^n) in the
+// Fourier basis (Ruiz-Perez & Garcia-Escartin 2017): QFT on b, controlled
+// phases from a, inverse QFT. It contains no Toffoli gates — the paper's
+// control benchmark qft_adder-16 is QFTAdder(8).
+// Wire order: a[0..n-1], b[0..n-1]. The QFT's final bit-reversal SWAPs are
+// elided by reindexing, as is standard.
+func QFTAdder(n int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("benchmarks: adder width must be >= 1, got %d", n)
+	}
+	c := circuit.New(2 * n)
+	a := func(i int) int { return i }
+	b := func(i int) int { return n + i }
+
+	// QFT on b without terminal swaps: qubit b(i) ends holding the phase
+	// wheel for weight-i bits in reversed order; the addition rotations
+	// below use the same convention so no reordering is needed.
+	for i := n - 1; i >= 0; i-- {
+		c.H(b(i))
+		for j := i - 1; j >= 0; j-- {
+			c.CP(math.Pi/math.Pow(2, float64(i-j)), b(j), b(i))
+		}
+	}
+	// Controlled additions: a(j) adds 2^j, rotating each phase wheel b(i)
+	// with i >= j by pi / 2^(i-j).
+	for i := n - 1; i >= 0; i-- {
+		for j := i; j >= 0; j-- {
+			c.CP(math.Pi/math.Pow(2, float64(i-j)), a(j), b(i))
+		}
+	}
+	// Inverse QFT on b.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			c.CP(-math.Pi/math.Pow(2, float64(i-j)), b(j), b(i))
+		}
+		c.H(b(i))
+	}
+	return c, nil
+}

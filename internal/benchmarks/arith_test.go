@@ -1,0 +1,208 @@
+package benchmarks
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestCuccaroAdderTruthTable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		c, err := CuccaroAdder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a++ {
+			for b := uint64(0); b <= mask; b++ {
+				for cin := uint64(0); cin <= 1; cin++ {
+					in := cin | a<<1 | b<<uint(1+n)
+					out, err := sim.ClassicalRun(c, in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sum := a + b + cin
+					wantB := sum & mask
+					wantCout := sum >> uint(n)
+					gotCin := out & 1
+					gotA := (out >> 1) & mask
+					gotB := (out >> uint(1+n)) & mask
+					gotCout := out >> uint(2*n+1)
+					if gotB != wantB || gotCout != wantCout || gotA != a || gotCin != cin {
+						t.Fatalf("n=%d a=%d b=%d cin=%d: b=%d cout=%d (want %d,%d), a=%d cin=%d",
+							n, a, b, cin, gotB, gotCout, wantB, wantCout, gotA, gotCin)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCuccaroAdderPaperSize(t *testing.T) {
+	c, err := CuccaroAdder(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 20 {
+		t.Errorf("qubits = %d, want 20", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 18 {
+		t.Errorf("toffolis = %d, want 18", got)
+	}
+}
+
+func TestTakahashiAdderTruthTable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		c, err := TakahashiAdder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a++ {
+			for b := uint64(0); b <= mask; b++ {
+				in := a | b<<uint(n)
+				out, err := sim.ClassicalRun(c, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotA := out & mask
+				gotB := out >> uint(n)
+				if gotB != (a+b)&mask || gotA != a {
+					t.Fatalf("n=%d a=%d b=%d: got a=%d b=%d, want a=%d b=%d",
+						n, a, b, gotA, gotB, a, (a+b)&mask)
+				}
+			}
+		}
+	}
+}
+
+func TestTakahashiAdderPaperSize(t *testing.T) {
+	c, err := TakahashiAdder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 20 {
+		t.Errorf("qubits = %d, want 20", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 18 {
+		t.Errorf("toffolis = %d, want 18", got)
+	}
+}
+
+func TestIncrementerTruthTable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		c, err := IncrementerBorrowedBit(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for r := uint64(0); r <= mask; r++ {
+			for g := uint64(0); g <= 1; g++ {
+				in := r | g<<uint(n)
+				out, err := sim.ClassicalRun(c, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantR := (r + 1) & mask
+				gotR := out & mask
+				gotG := out >> uint(n)
+				if gotR != wantR || gotG != g {
+					t.Fatalf("n=%d r=%d g=%d: got r=%d g=%d, want r=%d g=%d",
+						n, r, g, gotR, gotG, wantR, g)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementerPaperSize(t *testing.T) {
+	c, err := IncrementerBorrowedBit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Errorf("qubits = %d, want 5", c.NumQubits)
+	}
+}
+
+func TestQFTAdderAddsCorrectly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		c, err := QFTAdder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a++ {
+			for b := uint64(0); b <= mask; b++ {
+				in := a | b<<uint(n)
+				out, err := sim.ClassicalOutput(c, in)
+				if err != nil {
+					t.Fatalf("n=%d a=%d b=%d: %v", n, a, b, err)
+				}
+				gotA := out & mask
+				gotB := out >> uint(n)
+				if gotB != (a+b)&mask || gotA != a {
+					t.Fatalf("n=%d a=%d b=%d: got a=%d b=%d, want b=%d",
+						n, a, b, gotA, gotB, (a+b)&mask)
+				}
+			}
+		}
+	}
+}
+
+func TestQFTAdderHasNoToffolis(t *testing.T) {
+	c, err := QFTAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 16 {
+		t.Errorf("qubits = %d, want 16", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 0 {
+		t.Errorf("toffolis = %d, want 0", got)
+	}
+	// Table 1 counts 92 two-qubit gates (28 + 36 + 28 controlled phases).
+	if got := c.CollectStats().TwoQubit; got != 92 {
+		t.Errorf("two-qubit gates = %d, want 92", got)
+	}
+}
+
+func TestAddersRandomWideInputs(t *testing.T) {
+	// Spot-check the paper-size adders on random inputs.
+	rng := rand.New(rand.NewSource(66))
+	cu, err := CuccaroAdder(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := TakahashiAdder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a := uint64(rng.Intn(512))
+		b := uint64(rng.Intn(512))
+		in := a<<1 | b<<10
+		out, err := sim.ClassicalRun(cu, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotB := (out >> 10) & 511; gotB != (a+b)&511 {
+			t.Fatalf("cuccaro a=%d b=%d: got %d", a, b, gotB)
+		}
+		if cout := out >> 19; cout != (a+b)>>9 {
+			t.Fatalf("cuccaro carry wrong for a=%d b=%d", a, b)
+		}
+
+		a10 := uint64(rng.Intn(1024))
+		b10 := uint64(rng.Intn(1024))
+		out2, err := sim.ClassicalRun(ta, a10|b10<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotB := out2 >> 10; gotB != (a10+b10)&1023 {
+			t.Fatalf("takahashi a=%d b=%d: got %d, want %d", a10, b10, gotB, (a10+b10)&1023)
+		}
+	}
+}

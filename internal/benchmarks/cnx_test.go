@@ -1,0 +1,162 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+// cnxSpec checks that a CnX circuit flips its target exactly when all
+// controls are 1 and restores every ancilla, for all inputs (capped).
+func cnxSpec(t *testing.T, c *circuit.Circuit, nControls, target int, classical bool) {
+	t.Helper()
+	n := c.NumQubits
+	limit := uint64(1) << uint(n)
+	if limit > 1<<14 {
+		limit = 1 << 14
+	}
+	cmask := uint64(1)<<uint(nControls) - 1
+	for in := uint64(0); in < limit; in++ {
+		var out uint64
+		var err error
+		if classical {
+			out, err = sim.ClassicalRun(c, in)
+		} else {
+			out, err = sim.ClassicalOutput(c, in)
+		}
+		if err != nil {
+			t.Fatalf("input %b: %v", in, err)
+		}
+		want := in
+		if in&cmask == cmask {
+			want ^= 1 << uint(target)
+		}
+		if out != want {
+			t.Fatalf("input %0*b: got %0*b, want %0*b", n, in, n, out, n, want)
+		}
+	}
+}
+
+func TestCnXDirtyCorrect(t *testing.T) {
+	for _, nc := range []int{3, 4, 6} {
+		c, err := CnXDirty(nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnxSpec(t, c, nc, c.NumQubits-1, true)
+	}
+}
+
+func TestCnXDirtyPaperSize(t *testing.T) {
+	c, err := CnXDirty(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 11 {
+		t.Errorf("qubits = %d, want 11", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 16 {
+		t.Errorf("toffolis = %d, want 16", got)
+	}
+}
+
+func TestCnXLogAncillaCorrect(t *testing.T) {
+	for _, nc := range []int{3, 5} {
+		c, err := CnXLogAncilla(nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Clean-ancilla construction: only valid with ancillas at |0>.
+		n := c.NumQubits
+		for ctlTgt := uint64(0); ctlTgt < 1<<uint(nc+1); ctlTgt++ {
+			in := ctlTgt&(1<<uint(nc)-1) | (ctlTgt>>uint(nc))<<uint(n-1)
+			out, err := sim.ClassicalRun(c, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := in
+			if in&(1<<uint(nc)-1) == 1<<uint(nc)-1 {
+				want ^= 1 << uint(n-1)
+			}
+			if out != want {
+				t.Fatalf("nc=%d input %b: got %b, want %b", nc, in, out, want)
+			}
+		}
+	}
+}
+
+func TestCnXLogAncillaPaperSize(t *testing.T) {
+	c, err := CnXLogAncilla(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 19 {
+		t.Errorf("qubits = %d, want 19", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 17 {
+		t.Errorf("toffolis = %d, want 17", got)
+	}
+}
+
+func TestCnXHalfBorrowedPaperSize(t *testing.T) {
+	c, err := CnXHalfBorrowed(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 19 {
+		t.Errorf("qubits = %d, want 19", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 32 {
+		t.Errorf("toffolis = %d, want 32", got)
+	}
+}
+
+func TestCnXInplaceCorrect(t *testing.T) {
+	// Contains controlled phase roots, so verify as a unitary against the
+	// reference MCX.
+	for _, nc := range []int{3, 4, 5} {
+		c, err := CnXInplace(nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := circuit.New(nc + 1)
+		ctl := make([]int, nc)
+		for i := range ctl {
+			ctl[i] = i
+		}
+		ref.MCX(ctl, nc)
+		ok, err := sim.Equivalent(ref, c, 4, 321)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("cnx_inplace(%d) is not a C%dX", nc, nc)
+		}
+	}
+}
+
+func TestCnXInplaceIsAncillaFree(t *testing.T) {
+	c, err := CnXInplace(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 4 {
+		t.Errorf("qubits = %d, want 4", c.NumQubits)
+	}
+	if c.CountName(circuit.CCX) == 0 {
+		t.Error("in-place construction should still contain Toffolis")
+	}
+}
+
+func TestCnXValidation(t *testing.T) {
+	if _, err := CnXDirty(2); err == nil {
+		t.Error("expected error for 2 controls")
+	}
+	if _, err := CnXLogAncilla(1); err == nil {
+		t.Error("expected error for 1 control")
+	}
+	if _, err := CnXInplace(0); err == nil {
+		t.Error("expected error for 0 controls")
+	}
+}

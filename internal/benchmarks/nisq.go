@@ -1,0 +1,170 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+)
+
+// Grover returns Grover's search over nData qubits marking the all-ones
+// state, with floor(pi/4 * sqrt(2^nData)) iterations. The C^{n-1}Z oracle
+// and diffusion operator use the clean-ancilla CnX ladder (the paper's
+// cnx_logancilla subroutine) on nData-3 ancillas.
+// Wire order: data[0..nData-1], ancilla.
+// The paper's grovers-9 is Grover(6): 6 data + 3 ancilla = 9 qubits and
+// 84 Toffolis (14 per iteration x 6 iterations).
+func Grover(nData int) (*circuit.Circuit, error) {
+	if nData < 3 {
+		return nil, fmt.Errorf("benchmarks: grover needs >= 3 data qubits, got %d", nData)
+	}
+	nAncilla := nData - 3 // (nData-1 controls) - 2
+	c := circuit.New(nData + nAncilla)
+	data := seq(0, nData)
+	ancilla := seq(nData, nAncilla)
+	last := data[nData-1]
+	controls := data[:nData-1]
+
+	cnz := func() error {
+		c.H(last)
+		if err := decompose.MCXClean(c, controls, last, ancilla); err != nil {
+			return err
+		}
+		c.H(last)
+		return nil
+	}
+
+	for _, d := range data {
+		c.H(d)
+	}
+	iterations := int(math.Floor(math.Pi / 4 * math.Sqrt(math.Pow(2, float64(nData)))))
+	for it := 0; it < iterations; it++ {
+		// Oracle: phase-flip |1...1>.
+		if err := cnz(); err != nil {
+			return nil, err
+		}
+		// Diffusion: 2|s><s| - I.
+		for _, d := range data {
+			c.H(d)
+		}
+		for _, d := range data {
+			c.X(d)
+		}
+		if err := cnz(); err != nil {
+			return nil, err
+		}
+		for _, d := range data {
+			c.X(d)
+		}
+		for _, d := range data {
+			c.H(d)
+		}
+	}
+	return c, nil
+}
+
+// GroverRP is Grover with relative-phase Toffolis in the oracle and
+// diffusion CnZ ladders (see CnXLogAncillaRP).
+func GroverRP(nData int) (*circuit.Circuit, error) {
+	if nData < 3 {
+		return nil, fmt.Errorf("benchmarks: grover needs >= 3 data qubits, got %d", nData)
+	}
+	nAncilla := nData - 3
+	c := circuit.New(nData + nAncilla)
+	data := seq(0, nData)
+	ancilla := seq(nData, nAncilla)
+	last := data[nData-1]
+	controls := data[:nData-1]
+
+	cnz := func() error {
+		c.H(last)
+		if err := decompose.MCXCleanRP(c, controls, last, ancilla); err != nil {
+			return err
+		}
+		c.H(last)
+		return nil
+	}
+	for _, d := range data {
+		c.H(d)
+	}
+	for it := 0; it < GroverIterations(nData); it++ {
+		if err := cnz(); err != nil {
+			return nil, err
+		}
+		for _, d := range data {
+			c.H(d)
+		}
+		for _, d := range data {
+			c.X(d)
+		}
+		if err := cnz(); err != nil {
+			return nil, err
+		}
+		for _, d := range data {
+			c.X(d)
+		}
+		for _, d := range data {
+			c.H(d)
+		}
+	}
+	return c, nil
+}
+
+// GroverIterations reports the iteration count Grover(nData) uses.
+func GroverIterations(nData int) int {
+	return int(math.Floor(math.Pi / 4 * math.Sqrt(math.Pow(2, float64(nData)))))
+}
+
+// BernsteinVazirani returns the BV circuit recovering an nBits secret
+// string; the paper assumes the all-ones string (Table 1), giving one CNOT
+// per data qubit and no Toffolis.
+// Wire order: data[0..nBits-1], oracle ancilla.
+// The paper's bv-20 is BernsteinVazirani(19).
+func BernsteinVazirani(nBits int) (*circuit.Circuit, error) {
+	if nBits < 1 {
+		return nil, fmt.Errorf("benchmarks: bv needs >= 1 bit, got %d", nBits)
+	}
+	c := circuit.New(nBits + 1)
+	anc := nBits
+	c.X(anc)
+	c.H(anc)
+	for i := 0; i < nBits; i++ {
+		c.H(i)
+	}
+	for i := 0; i < nBits; i++ {
+		c.CX(i, anc)
+	}
+	for i := 0; i < nBits; i++ {
+		c.H(i)
+	}
+	return c, nil
+}
+
+// QAOAComplete returns one QAOA layer (p=1) for Max-Cut on the complete
+// graph K_n: a ZZ phase-separation term per edge (2 CNOTs + rz each) and an
+// rx mixer layer. gamma and beta are fixed representative angles; the gate
+// counts, which are what the compiler experiments consume, do not depend on
+// them. The paper's qaoa_complete-10 is QAOAComplete(10): 90 CNOTs, no
+// Toffolis.
+func QAOAComplete(n int) (*circuit.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("benchmarks: qaoa needs >= 2 qubits, got %d", n)
+	}
+	const gamma, beta = 0.4, 0.8
+	c := circuit.New(n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.CX(i, j)
+			c.RZ(2*gamma, j)
+			c.CX(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.RX(2*beta, i)
+	}
+	return c, nil
+}

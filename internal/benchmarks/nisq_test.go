@@ -1,0 +1,136 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestGroverFindsMarkedState(t *testing.T) {
+	// Small instances simulate fast; the amplitude of the all-ones data
+	// state must dominate after the iterations.
+	for _, nData := range []int{3, 4, 5} {
+		c, err := Grover(nData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.NewState(c.NumQubits)
+		if err := s.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		marked := uint64(1)<<uint(nData) - 1 // data all ones, ancilla zero
+		p := s.Probability(marked)
+		if p < 0.8 {
+			t.Errorf("grover(%d): marked-state probability %.3f < 0.8", nData, p)
+		}
+	}
+}
+
+func TestGroverPaperSize(t *testing.T) {
+	c, err := Grover(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 9 {
+		t.Errorf("qubits = %d, want 9", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CCX); got != 84 {
+		t.Errorf("toffolis = %d, want 84", got)
+	}
+	if GroverIterations(6) != 6 {
+		t.Errorf("iterations = %d, want 6", GroverIterations(6))
+	}
+}
+
+func TestGroverPaperSizeSuccess(t *testing.T) {
+	c, err := Grover(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewState(9)
+	if err := s.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(63); p < 0.9 {
+		t.Errorf("grover(6) marked probability %.3f < 0.9", p)
+	}
+}
+
+func TestBVRecoversAllOnesSecret(t *testing.T) {
+	for _, n := range []int{3, 7} {
+		c, err := BernsteinVazirani(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.NewState(c.NumQubits)
+		if err := s.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		// Data qubits must read the secret (all ones); ancilla is in |->
+		// so the total state is secret x (|0>-|1>)/sqrt2.
+		secret := uint64(1)<<uint(n) - 1
+		p := s.Probability(secret) + s.Probability(secret|1<<uint(n))
+		if p < 1-1e-9 {
+			t.Errorf("bv(%d): secret probability %.6f", n, p)
+		}
+	}
+}
+
+func TestBVPaperSize(t *testing.T) {
+	c, err := BernsteinVazirani(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 20 {
+		t.Errorf("qubits = %d, want 20", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CX); got != 19 {
+		t.Errorf("CNOTs = %d, want 19", got)
+	}
+	if got := c.CountName(circuit.CCX); got != 0 {
+		t.Errorf("toffolis = %d, want 0", got)
+	}
+}
+
+func TestQAOAPaperSize(t *testing.T) {
+	c, err := QAOAComplete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 10 {
+		t.Errorf("qubits = %d, want 10", c.NumQubits)
+	}
+	if got := c.CountName(circuit.CX); got != 90 {
+		t.Errorf("CNOTs = %d, want 90 (2 per K10 edge)", got)
+	}
+	if got := c.CountName(circuit.CCX); got != 0 {
+		t.Errorf("toffolis = %d, want 0", got)
+	}
+}
+
+func TestQAOAStructure(t *testing.T) {
+	c, err := QAOAComplete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 H + 6 edges x (2 CX + 1 RZ) + 4 RX = 26 gates.
+	if len(c.Gates) != 26 {
+		t.Errorf("gates = %d, want 26", len(c.Gates))
+	}
+	if got := c.CountName(circuit.RX); got != 4 {
+		t.Errorf("mixer gates = %d, want 4", got)
+	}
+}
+
+func TestNISQValidation(t *testing.T) {
+	if _, err := Grover(2); err == nil {
+		t.Error("expected error for grover(2)")
+	}
+	if _, err := BernsteinVazirani(0); err == nil {
+		t.Error("expected error for bv(0)")
+	}
+	if _, err := QAOAComplete(1); err == nil {
+		t.Error("expected error for qaoa(1)")
+	}
+}

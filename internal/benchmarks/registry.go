@@ -1,0 +1,129 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+)
+
+// Benchmark is one Table-1 workload: a circuit generator plus the paper's
+// published size so reproduction drift is visible.
+type Benchmark struct {
+	// Name follows the paper's labels, e.g. "cnx_dirty-11".
+	Name string
+	// Build generates the logical circuit.
+	Build func() (*circuit.Circuit, error)
+	// Paper-published counts (Table 1): qubits, Toffoli gates, and total
+	// CNOTs after decomposing Toffolis with the 8-CNOT form, excluding
+	// routing SWAPs.
+	PaperQubits   int
+	PaperToffolis int
+	PaperCNOTs    int
+	// HasToffolis records whether the paper expects Trios to help (§5.2:
+	// the three Toffoli-free benchmarks are controls).
+	HasToffolis bool
+}
+
+// All returns the paper's eleven benchmarks in Table-1 order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "cnx_dirty-11",
+			Build:       func() (*circuit.Circuit, error) { return CnXDirty(6) },
+			PaperQubits: 11, PaperToffolis: 16, PaperCNOTs: 128, HasToffolis: true,
+		},
+		{
+			Name:        "cnx_halfborrowed-19",
+			Build:       func() (*circuit.Circuit, error) { return CnXHalfBorrowed(10) },
+			PaperQubits: 19, PaperToffolis: 32, PaperCNOTs: 256, HasToffolis: true,
+		},
+		{
+			Name:        "cnx_logancilla-19",
+			Build:       func() (*circuit.Circuit, error) { return CnXLogAncilla(10) },
+			PaperQubits: 19, PaperToffolis: 17, PaperCNOTs: 136, HasToffolis: true,
+		},
+		{
+			Name:        "cnx_inplace-4",
+			Build:       func() (*circuit.Circuit, error) { return CnXInplace(3) },
+			PaperQubits: 4, PaperToffolis: 54, PaperCNOTs: 490, HasToffolis: true,
+		},
+		{
+			Name:        "cuccaro_adder-20",
+			Build:       func() (*circuit.Circuit, error) { return CuccaroAdder(9) },
+			PaperQubits: 20, PaperToffolis: 18, PaperCNOTs: 190, HasToffolis: true,
+		},
+		{
+			Name:        "takahashi_adder-20",
+			Build:       func() (*circuit.Circuit, error) { return TakahashiAdder(10) },
+			PaperQubits: 20, PaperToffolis: 18, PaperCNOTs: 188, HasToffolis: true,
+		},
+		{
+			Name:        "incrementer_borrowedbit-5",
+			Build:       func() (*circuit.Circuit, error) { return IncrementerBorrowedBit(4) },
+			PaperQubits: 5, PaperToffolis: 50, PaperCNOTs: 448, HasToffolis: true,
+		},
+		{
+			Name:        "grovers-9",
+			Build:       func() (*circuit.Circuit, error) { return Grover(6) },
+			PaperQubits: 9, PaperToffolis: 84, PaperCNOTs: 672, HasToffolis: true,
+		},
+		{
+			Name:        "qft_adder-16",
+			Build:       func() (*circuit.Circuit, error) { return QFTAdder(8) },
+			PaperQubits: 16, PaperToffolis: 0, PaperCNOTs: 92, HasToffolis: false,
+		},
+		{
+			Name:        "bv-20",
+			Build:       func() (*circuit.Circuit, error) { return BernsteinVazirani(19) },
+			PaperQubits: 20, PaperToffolis: 0, PaperCNOTs: 19, HasToffolis: false,
+		},
+		{
+			Name:        "qaoa_complete-10",
+			Build:       func() (*circuit.Circuit, error) { return QAOAComplete(10) },
+			PaperQubits: 10, PaperToffolis: 0, PaperCNOTs: 90, HasToffolis: false,
+		},
+	}
+}
+
+// ByName returns the benchmark with the given Table-1 label.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+}
+
+// Measured summarizes a generated circuit the way Table 1 does.
+type Measured struct {
+	Qubits   int
+	Toffolis int
+	// CNOTs is the two-qubit gate count after expanding every Toffoli with
+	// the 8-CNOT decomposition, with no routing SWAPs (Table 1's metric;
+	// controlled-phase gates count as one two-qubit gate each).
+	CNOTs int
+}
+
+// Measure generates the circuit and tabulates it Table-1 style.
+func (b Benchmark) Measure() (Measured, error) {
+	c, err := b.Build()
+	if err != nil {
+		return Measured{}, err
+	}
+	kept, err := decompose.KeepToffoli(c)
+	if err != nil {
+		return Measured{}, err
+	}
+	toffolis := kept.CountName(circuit.CCX)
+	full, err := decompose.ToffoliAll(c, decompose.Eight)
+	if err != nil {
+		return Measured{}, err
+	}
+	return Measured{
+		Qubits:   c.NumQubits,
+		Toffolis: toffolis,
+		CNOTs:    full.CollectStats().TwoQubit,
+	}, nil
+}

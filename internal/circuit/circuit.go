@@ -1,0 +1,274 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered sequence of gates on NumQubits qubits.
+// The zero value is an empty circuit on zero qubits.
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+}
+
+// New returns an empty circuit on n qubits.
+func New(n int) *Circuit {
+	if n < 0 {
+		panic("circuit: negative qubit count")
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Append adds gates to the end of the circuit, growing NumQubits if a gate
+// references a qubit beyond the current range.
+func (c *Circuit) Append(gs ...Gate) *Circuit {
+	for _, g := range gs {
+		for _, q := range g.Qubits {
+			if q >= c.NumQubits {
+				c.NumQubits = q + 1
+			}
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	return c
+}
+
+// AppendCircuit appends all gates of o to c.
+func (c *Circuit) AppendCircuit(o *Circuit) *Circuit {
+	if o.NumQubits > c.NumQubits {
+		c.NumQubits = o.NumQubits
+	}
+	return c.Append(o.Gates...)
+}
+
+// Builder helpers. Each appends one gate and returns the circuit to allow
+// chaining when constructing test fixtures and benchmark circuits.
+
+func (c *Circuit) I(q int) *Circuit    { return c.Append(NewGate(I, []int{q})) }
+func (c *Circuit) X(q int) *Circuit    { return c.Append(NewGate(X, []int{q})) }
+func (c *Circuit) Y(q int) *Circuit    { return c.Append(NewGate(Y, []int{q})) }
+func (c *Circuit) Z(q int) *Circuit    { return c.Append(NewGate(Z, []int{q})) }
+func (c *Circuit) H(q int) *Circuit    { return c.Append(NewGate(H, []int{q})) }
+func (c *Circuit) S(q int) *Circuit    { return c.Append(NewGate(S, []int{q})) }
+func (c *Circuit) Sdg(q int) *Circuit  { return c.Append(NewGate(Sdg, []int{q})) }
+func (c *Circuit) T(q int) *Circuit    { return c.Append(NewGate(T, []int{q})) }
+func (c *Circuit) Tdg(q int) *Circuit  { return c.Append(NewGate(Tdg, []int{q})) }
+func (c *Circuit) SX(q int) *Circuit   { return c.Append(NewGate(SX, []int{q})) }
+func (c *Circuit) SXdg(q int) *Circuit { return c.Append(NewGate(SXdg, []int{q})) }
+
+func (c *Circuit) RX(theta float64, q int) *Circuit { return c.Append(NewGate(RX, []int{q}, theta)) }
+func (c *Circuit) RY(theta float64, q int) *Circuit { return c.Append(NewGate(RY, []int{q}, theta)) }
+func (c *Circuit) RZ(theta float64, q int) *Circuit { return c.Append(NewGate(RZ, []int{q}, theta)) }
+func (c *Circuit) U1(lambda float64, q int) *Circuit {
+	return c.Append(NewGate(U1, []int{q}, lambda))
+}
+func (c *Circuit) U2(phi, lambda float64, q int) *Circuit {
+	return c.Append(NewGate(U2, []int{q}, phi, lambda))
+}
+func (c *Circuit) U3(theta, phi, lambda float64, q int) *Circuit {
+	return c.Append(NewGate(U3, []int{q}, theta, phi, lambda))
+}
+
+func (c *Circuit) CX(ctl, tgt int) *Circuit { return c.Append(NewGate(CX, []int{ctl, tgt})) }
+func (c *Circuit) CZ(a, b int) *Circuit     { return c.Append(NewGate(CZ, []int{a, b})) }
+func (c *Circuit) CP(lambda float64, a, b int) *Circuit {
+	return c.Append(NewGate(CP, []int{a, b}, lambda))
+}
+func (c *Circuit) SWAP(a, b int) *Circuit { return c.Append(NewGate(SWAP, []int{a, b})) }
+
+func (c *Circuit) CCX(c1, c2, tgt int) *Circuit { return c.Append(NewGate(CCX, []int{c1, c2, tgt})) }
+func (c *Circuit) CCZ(a, b, d int) *Circuit     { return c.Append(NewGate(CCZ, []int{a, b, d})) }
+func (c *Circuit) RCCX(c1, c2, tgt int) *Circuit {
+	return c.Append(NewGate(RCCX, []int{c1, c2, tgt}))
+}
+func (c *Circuit) RCCXdg(c1, c2, tgt int) *Circuit {
+	return c.Append(NewGate(RCCXdg, []int{c1, c2, tgt}))
+}
+
+// MCX appends a multi-controlled X with the given controls and target.
+func (c *Circuit) MCX(controls []int, tgt int) *Circuit {
+	return c.Append(NewGate(MCX, append(append([]int{}, controls...), tgt)))
+}
+
+func (c *Circuit) Measure(q int) *Circuit { return c.Append(NewGate(Measure, []int{q})) }
+
+// Barrier appends a barrier over the given qubits (all qubits if none given).
+func (c *Circuit) Barrier(qs ...int) *Circuit {
+	if len(qs) == 0 {
+		qs = make([]int, c.NumQubits)
+		for i := range qs {
+			qs[i] = i
+		}
+	}
+	return c.Append(Gate{Name: Barrier, Qubits: qs})
+}
+
+// Copy returns a deep copy of the circuit.
+func (c *Circuit) Copy() *Circuit {
+	out := &Circuit{NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		q := make([]int, len(g.Qubits))
+		copy(q, g.Qubits)
+		var p []float64
+		if len(g.Params) > 0 {
+			p = make([]float64, len(g.Params))
+			copy(p, g.Params)
+		}
+		out.Gates[i] = Gate{Name: g.Name, Qubits: q, Params: p}
+	}
+	return out
+}
+
+// Inverse returns the adjoint circuit: gates reversed and each inverted.
+// Pseudo-ops (measure, barrier) are not meaningful to invert and cause a panic.
+func (c *Circuit) Inverse() *Circuit {
+	out := New(c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		if g.IsPseudo() {
+			panic("circuit: cannot invert a circuit containing measure/barrier")
+		}
+		out.Append(g.Inverse())
+	}
+	return out
+}
+
+// Equal reports whether two circuits have identical qubit counts and
+// gate sequences.
+func (c *Circuit) Equal(o *Circuit) bool {
+	if c.NumQubits != o.NumQubits || len(c.Gates) != len(o.Gates) {
+		return false
+	}
+	for i := range c.Gates {
+		if !c.Gates[i].Equal(o.Gates[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Remap returns a copy of the circuit with qubits renamed by f.
+// The resulting circuit has n qubits.
+func (c *Circuit) Remap(n int, f func(int) int) *Circuit {
+	out := New(n)
+	for _, g := range c.Gates {
+		out.Append(g.Remap(f))
+	}
+	return out
+}
+
+// Stats summarizes gate composition of a circuit.
+type Stats struct {
+	Total      int // all gates excluding barriers
+	OneQubit   int
+	TwoQubit   int // CX/CZ/CP count + 3 per SWAP (SWAP ~ 3 CX)
+	Swaps      int
+	Toffolis   int // CCX + CCZ
+	MCXs       int
+	Measures   int
+	MaxArity   int
+	ParamGates int
+}
+
+// CollectStats scans the circuit once and tabulates composition counts.
+//
+// TwoQubit counts each SWAP as 3 two-qubit gates so it matches the paper's
+// "total two-qubit gate count" metric for circuits where SWAPs have not yet
+// been decomposed.
+func (c *Circuit) CollectStats() Stats {
+	var s Stats
+	for _, g := range c.Gates {
+		if g.Name == Barrier {
+			continue
+		}
+		s.Total++
+		if len(g.Qubits) > s.MaxArity {
+			s.MaxArity = len(g.Qubits)
+		}
+		if len(g.Params) > 0 {
+			s.ParamGates++
+		}
+		switch {
+		case g.Name == Measure:
+			s.Measures++
+		case g.Name == SWAP:
+			s.Swaps++
+			s.TwoQubit += 3
+		case g.IsTwoQubit():
+			s.TwoQubit++
+		case g.Name == CCX || g.Name == CCZ || g.Name == RCCX || g.Name == RCCXdg:
+			s.Toffolis++
+		case g.Name == MCX:
+			s.MCXs++
+		case len(g.Qubits) == 1:
+			s.OneQubit++
+		}
+	}
+	return s
+}
+
+// TwoQubitCount returns the circuit's two-qubit gate count with SWAPs
+// counted as 3 CNOTs each.
+func (c *Circuit) TwoQubitCount() int { return c.CollectStats().TwoQubit }
+
+// CountName returns the number of gates with the given name.
+func (c *Circuit) CountName(n Name) int {
+	count := 0
+	for _, g := range c.Gates {
+		if g.Name == n {
+			count++
+		}
+	}
+	return count
+}
+
+// Depth returns the circuit depth: the length of the longest chain of gates
+// that share qubits. Barriers synchronize all their qubits but do not add
+// depth themselves.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		d := 0
+		for _, q := range g.Qubits {
+			if level[q] > d {
+				d = level[q]
+			}
+		}
+		if g.Name != Barrier {
+			d++
+		}
+		for _, q := range g.Qubits {
+			level[q] = d
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// String renders the circuit as one gate per line.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit(%d qubits, %d gates)\n", c.NumQubits, len(c.Gates))
+	for _, g := range c.Gates {
+		b.WriteString("  ")
+		b.WriteString(g.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks internal consistency: all qubit indices are in range.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		for _, q := range g.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("circuit: gate %d (%v) references qubit %d outside [0,%d)", i, g.Name, q, c.NumQubits)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDrawBasicShapes(t *testing.T) {
+	c := New(3)
+	c.H(0).CX(0, 1).CCX(0, 1, 2).Measure(2)
+	out := c.Draw()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if !strings.Contains(out, "H") {
+		t.Error("missing H symbol")
+	}
+	if !strings.Contains(out, "●") || !strings.Contains(out, "X") {
+		t.Error("missing control/target symbols")
+	}
+	if !strings.Contains(out, "M") {
+		t.Error("missing measure symbol")
+	}
+	if !strings.Contains(out, "│") {
+		t.Error("missing vertical connector")
+	}
+	if !strings.HasPrefix(lines[0], "q0: ") {
+		t.Errorf("missing qubit label: %q", lines[0])
+	}
+}
+
+func TestDrawParallelGatesShareColumn(t *testing.T) {
+	c := New(2)
+	c.H(0).H(1)
+	out := c.Draw()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines:\n%s", out)
+	}
+	// Both H's should appear at the same column offset.
+	i0 := strings.Index(lines[0], "H")
+	i1 := strings.Index(lines[1], "H")
+	if i0 != i1 {
+		t.Errorf("parallel gates not aligned: %d vs %d\n%s", i0, i1, out)
+	}
+}
+
+func TestDrawParamGates(t *testing.T) {
+	c := New(1)
+	c.RZ(0.5, 0)
+	out := c.Draw()
+	if !strings.Contains(out, "RZ(0.5)") {
+		t.Errorf("param not rendered:\n%s", out)
+	}
+}
+
+func TestDrawSwap(t *testing.T) {
+	c := New(2)
+	c.SWAP(0, 1)
+	out := c.Draw()
+	if strings.Count(out, "x") < 2 {
+		t.Errorf("swap symbols missing:\n%s", out)
+	}
+}
+
+func TestDrawEmptyCircuit(t *testing.T) {
+	if out := New(0).Draw(); out != "" {
+		t.Errorf("empty circuit drew %q", out)
+	}
+	out := New(2).Draw()
+	if !strings.Contains(out, "q0:") || !strings.Contains(out, "q1:") {
+		t.Errorf("gateless circuit should still draw wires:\n%s", out)
+	}
+}
+
+func TestDrawDistantOperandsConnect(t *testing.T) {
+	c := New(4)
+	c.CX(0, 3)
+	out := c.Draw()
+	// Connector must pass through rows 0-1, 1-2, 2-3.
+	if strings.Count(out, "│") < 3 {
+		t.Errorf("connector should span intermediate wires:\n%s", out)
+	}
+	// Intermediate qubits keep a plain wire (no symbol).
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "q1:") && (strings.Contains(l, "●") || strings.Contains(l, "X")) {
+			t.Errorf("intermediate wire has a gate symbol: %q", l)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package circuit defines the intermediate representation used by the Trios
+// compiler: quantum gates, circuits, and structural views (DAG, moments).
+//
+// A Circuit is an ordered list of Gates applied to qubits identified by
+// small integer indices. The representation is deliberately close to
+// OpenQASM 2.0: it supports the IBM basis {u1, u2, u3, cx}, the common named
+// single-qubit gates, SWAP, the three-qubit Toffoli (CCX and CCZ), and a
+// generalized multi-controlled X (MCX) used by benchmark generators before
+// the first decomposition pass.
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Name identifies a gate kind.
+type Name int
+
+// Gate kinds. The order groups gates by arity: single-qubit gates first,
+// then two-qubit, then three-qubit, then variable-arity and pseudo-ops.
+const (
+	// Single-qubit gates.
+	I Name = iota
+	X
+	Y
+	Z
+	H
+	S
+	Sdg
+	T
+	Tdg
+	SX // sqrt(X)
+	SXdg
+	RX // rotation, one parameter
+	RY
+	RZ
+	U1 // diag(1, e^{i lambda})
+	U2 // two parameters (phi, lambda)
+	U3 // three parameters (theta, phi, lambda)
+
+	// Two-qubit gates.
+	CX
+	CZ
+	CP // controlled phase, one parameter
+	SWAP
+
+	// Three-qubit gates.
+	CCX // Toffoli
+	CCZ
+	// RCCX is the Margolus gate: a Toffoli up to relative phase, 3 CNOTs
+	// instead of 6-8. Correct wherever the phase cancels, e.g. the
+	// compute/uncompute pairs of ancilla ladders. RCCXdg is its inverse.
+	RCCX
+	RCCXdg
+
+	// Variable-arity gates.
+	MCX // multi-controlled X: qubits = controls..., target last
+
+	// Pseudo-operations.
+	Measure
+	Barrier
+
+	numNames
+)
+
+var gateNames = [numNames]string{
+	I: "id", X: "x", Y: "y", Z: "z", H: "h",
+	S: "s", Sdg: "sdg", T: "t", Tdg: "tdg",
+	SX: "sx", SXdg: "sxdg",
+	RX: "rx", RY: "ry", RZ: "rz",
+	U1: "u1", U2: "u2", U3: "u3",
+	CX: "cx", CZ: "cz", CP: "cp", SWAP: "swap",
+	CCX: "ccx", CCZ: "ccz", RCCX: "rccx", RCCXdg: "rccxdg",
+	MCX:     "mcx",
+	Measure: "measure", Barrier: "barrier",
+}
+
+// String returns the lowercase OpenQASM-style mnemonic for the gate name.
+func (n Name) String() string {
+	if n < 0 || n >= numNames {
+		return fmt.Sprintf("gate(%d)", int(n))
+	}
+	return gateNames[n]
+}
+
+// nameParams[n] is the number of float parameters gate n carries.
+var nameParams = [numNames]int{
+	RX: 1, RY: 1, RZ: 1, U1: 1, CP: 1, U2: 2, U3: 3,
+}
+
+// ParamCount returns the number of rotation parameters gates of this kind take.
+func (n Name) ParamCount() int {
+	if n < 0 || n >= numNames {
+		return 0
+	}
+	return nameParams[n]
+}
+
+// nameArity[n] is the fixed qubit arity of gate n, or -1 for variable arity.
+var nameArity = [numNames]int{
+	I: 1, X: 1, Y: 1, Z: 1, H: 1, S: 1, Sdg: 1, T: 1, Tdg: 1,
+	SX: 1, SXdg: 1, RX: 1, RY: 1, RZ: 1, U1: 1, U2: 1, U3: 1,
+	CX: 2, CZ: 2, CP: 2, SWAP: 2,
+	CCX: 3, CCZ: 3, RCCX: 3, RCCXdg: 3,
+	MCX:     -1,
+	Measure: 1, Barrier: -1,
+}
+
+// Arity returns the number of qubits gates of this kind act on,
+// or -1 if the arity is variable (MCX, Barrier).
+func (n Name) Arity() int {
+	if n < 0 || n >= numNames {
+		return 0
+	}
+	return nameArity[n]
+}
+
+// ParseName converts an OpenQASM-style mnemonic to a Name.
+func ParseName(s string) (Name, bool) {
+	for i, g := range gateNames {
+		if g == s {
+			return Name(i), true
+		}
+	}
+	return 0, false
+}
+
+// Gate is a single operation on one or more qubits.
+//
+// Qubits are logical indices before mapping and physical hardware indices
+// after. For controlled gates the controls come first and the target last.
+type Gate struct {
+	Name   Name
+	Qubits []int
+	Params []float64
+}
+
+// NewGate builds a gate after validating arity and parameter count.
+// It panics on mismatch; gate construction errors are programming errors.
+func NewGate(name Name, qubits []int, params ...float64) Gate {
+	if a := name.Arity(); a >= 0 && len(qubits) != a {
+		panic(fmt.Sprintf("circuit: gate %v expects %d qubits, got %d", name, a, len(qubits)))
+	}
+	if name == MCX && len(qubits) < 2 {
+		panic(fmt.Sprintf("circuit: mcx needs at least 2 qubits, got %d", len(qubits)))
+	}
+	if p := name.ParamCount(); len(params) != p {
+		panic(fmt.Sprintf("circuit: gate %v expects %d params, got %d", name, p, len(params)))
+	}
+	seen := make(map[int]bool, len(qubits))
+	for _, q := range qubits {
+		if q < 0 {
+			panic(fmt.Sprintf("circuit: gate %v has negative qubit %d", name, q))
+		}
+		if seen[q] {
+			panic(fmt.Sprintf("circuit: gate %v has duplicate qubit %d", name, q))
+		}
+		seen[q] = true
+	}
+	return Gate{Name: name, Qubits: qubits, Params: params}
+}
+
+// Arity returns the number of qubits this gate instance acts on.
+func (g Gate) Arity() int { return len(g.Qubits) }
+
+// IsTwoQubit reports whether the gate is a two-qubit entangling operation.
+// SWAP counts as two-qubit; it later decomposes into 3 CX.
+func (g Gate) IsTwoQubit() bool {
+	switch g.Name {
+	case CX, CZ, CP, SWAP:
+		return true
+	}
+	return false
+}
+
+// IsPseudo reports whether the gate is a non-unitary pseudo-op
+// (measurement or barrier).
+func (g Gate) IsPseudo() bool { return g.Name == Measure || g.Name == Barrier }
+
+// Target returns the last qubit, which for controlled gates is the target.
+func (g Gate) Target() int { return g.Qubits[len(g.Qubits)-1] }
+
+// Controls returns the control qubits of a controlled gate (all but the last).
+func (g Gate) Controls() []int { return g.Qubits[:len(g.Qubits)-1] }
+
+// On returns a copy of the gate acting on different qubits, used when
+// remapping logical to physical indices.
+func (g Gate) On(qubits ...int) Gate {
+	return NewGate(g.Name, qubits, g.Params...)
+}
+
+// Remap returns a copy of the gate with every qubit q replaced by f(q).
+func (g Gate) Remap(f func(int) int) Gate {
+	q := make([]int, len(g.Qubits))
+	for i, v := range g.Qubits {
+		q[i] = f(v)
+	}
+	return NewGate(g.Name, q, g.Params...)
+}
+
+// Inverse returns the adjoint of the gate. Pseudo-ops are returned unchanged.
+func (g Gate) Inverse() Gate {
+	switch g.Name {
+	case S:
+		return g.with(Sdg)
+	case Sdg:
+		return g.with(S)
+	case T:
+		return g.with(Tdg)
+	case Tdg:
+		return g.with(T)
+	case SX:
+		return g.with(SXdg)
+	case SXdg:
+		return g.with(SX)
+	case RCCX:
+		return g.with(RCCXdg)
+	case RCCXdg:
+		return g.with(RCCX)
+	case RX, RY, RZ, U1, CP:
+		return NewGate(g.Name, g.Qubits, -g.Params[0])
+	case U2:
+		// u2(phi, lambda)^-1 = u3(-pi/2, -lambda, -phi)
+		return NewGate(U3, g.Qubits, -math.Pi/2, -g.Params[1], -g.Params[0])
+	case U3:
+		return NewGate(U3, g.Qubits, -g.Params[0], -g.Params[2], -g.Params[1])
+	default:
+		// Self-inverse (I, X, Y, Z, H, CX, CZ, SWAP, CCX, CCZ, MCX)
+		// or pseudo-ops.
+		return g
+	}
+}
+
+func (g Gate) with(n Name) Gate { return NewGate(n, g.Qubits, g.Params...) }
+
+// Equal reports structural equality of two gates.
+func (g Gate) Equal(o Gate) bool {
+	if g.Name != o.Name || len(g.Qubits) != len(o.Qubits) || len(g.Params) != len(o.Params) {
+		return false
+	}
+	for i := range g.Qubits {
+		if g.Qubits[i] != o.Qubits[i] {
+			return false
+		}
+	}
+	for i := range g.Params {
+		if g.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the gate in OpenQASM-like syntax, e.g. "cx q[0], q[1]".
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Name.String())
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%g", p)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	for i, q := range g.Qubits {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "q[%d]", q)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package compiler
+
+import (
+	"testing"
+
+	"trios/internal/benchmarks"
+	"trios/internal/topo"
+)
+
+func benchCompile(b *testing.B, pipe Pipeline, router RouterKind) {
+	b.Helper()
+	grover, err := benchmarks.Grover(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := topo.Johannesburg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Compile(grover, g, Options{
+			Pipeline:  pipe,
+			Router:    router,
+			Placement: PlaceGreedy,
+			Seed:      int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.TwoQubitGates()), "two-qubit-gates")
+		}
+	}
+}
+
+func BenchmarkCompileGroverBaseline(b *testing.B)   { benchCompile(b, Conventional, RouteDirect) }
+func BenchmarkCompileGroverTrios(b *testing.B)      { benchCompile(b, TriosPipeline, RouteDirect) }
+func BenchmarkCompileGroverStochastic(b *testing.B) { benchCompile(b, Conventional, RouteStochastic) }

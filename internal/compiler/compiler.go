@@ -1,0 +1,407 @@
+// Package compiler assembles the decomposition, mapping, and routing passes
+// into the two pipeline shapes compared by the paper (Fig. 2):
+//
+//   - Conventional: decompose everything to 1- and 2-qubit gates first, then
+//     map and route pairs (the Qiskit-like baseline).
+//   - Trios: decompose down to Toffolis, map and route trios as units, then
+//     run the mapping-aware second decomposition.
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+	"trios/internal/layout"
+	"trios/internal/optimize"
+	"trios/internal/route"
+	"trios/internal/topo"
+)
+
+// Pipeline selects the overall compilation structure.
+type Pipeline int
+
+const (
+	// Conventional is the decompose-first baseline (Fig. 2a).
+	Conventional Pipeline = iota
+	// TriosPipeline is the split-decomposition flow (Fig. 2b).
+	TriosPipeline
+	// GroupsPipeline is the experimental §4 extension: multi-qubit gates of
+	// any arity stay intact through routing, their operands are gathered
+	// into one connected cluster, and the MCX is decomposed in place
+	// borrowing the nearest wires, with a Trios fixup pass afterwards.
+	GroupsPipeline
+)
+
+func (p Pipeline) String() string {
+	switch p {
+	case TriosPipeline:
+		return "trios"
+	case GroupsPipeline:
+		return "groups"
+	}
+	return "baseline"
+}
+
+// Placement selects the initial-mapping strategy.
+type Placement int
+
+const (
+	// PlaceIdentity maps logical qubit i to physical qubit i.
+	PlaceIdentity Placement = iota
+	// PlaceGreedy uses the interaction-aware greedy mapper.
+	PlaceGreedy
+	// PlaceRandom uses a seeded random placement (the paper's Toffoli
+	// experiments place inputs at random locations to emulate mid-circuit
+	// conditions).
+	PlaceRandom
+)
+
+// RouterKind selects the routing strategy within a pipeline.
+type RouterKind int
+
+const (
+	// RouteDirect uses deterministic shortest-path routing with stochastic
+	// tie-breaks — the strongest heuristic in this repo.
+	RouteDirect RouterKind = iota
+	// RouteStochastic uses the Qiskit-0.14-style randomized layer router,
+	// the era-faithful baseline the paper measures against. In the Trios
+	// pipeline only two-qubit gates route stochastically; trios still use
+	// the deterministic meeting-point strategy.
+	RouteStochastic
+	// RouteLookahead uses the SABRE-style lookahead router representing the
+	// prior-art class the paper's §3 argues only treats the symptoms of
+	// premature decomposition.
+	RouteLookahead
+)
+
+func (r RouterKind) String() string {
+	switch r {
+	case RouteStochastic:
+		return "stochastic"
+	case RouteLookahead:
+		return "lookahead"
+	}
+	return "direct"
+}
+
+// Options configures a compilation.
+type Options struct {
+	Pipeline Pipeline
+	// Router picks the routing strategy (default RouteDirect).
+	Router RouterKind
+	// Mode picks the Toffoli decomposition. For the conventional pipeline it
+	// is applied up front (the paper's "Qiskit (baseline)" uses Six and
+	// "Qiskit (8-CNOT Toffoli)" Eight). For Trios it drives the second,
+	// mapping-aware pass: Auto (default) chooses per placement; Six forces
+	// the 6-CNOT form and relies on a fixup routing pass for missing edges.
+	Mode decompose.ToffoliMode
+	// Placement picks the initial mapping strategy; InitialLayout overrides
+	// it with an explicit logical->physical assignment when non-nil.
+	Placement     Placement
+	InitialLayout []int
+	// Seed drives stochastic routing tie-breaks and random placement.
+	Seed int64
+	// Optimize enables commutation-free gate cancellation and rotation
+	// merging (§2.4), applied to the input and again to the compiled
+	// circuit where routing may have created adjacent inverse pairs.
+	Optimize bool
+	// NoiseWeight, when non-nil, makes routing noise-aware: the routing
+	// graph's edges are weighted by weight(a, b) (intended: -log CNOT
+	// success rate) and paths minimize total weight.
+	NoiseWeight func(a, b int) float64
+}
+
+// Result carries the compiled program and the bookkeeping needed to verify
+// and evaluate it.
+type Result struct {
+	// Input is the logical circuit as given.
+	Input *circuit.Circuit
+	// Physical is the final compiled circuit in the {u1,u2,u3,cx} basis on
+	// device qubits.
+	Physical *circuit.Circuit
+	// Initial[v] is the physical qubit logical v starts on; Final[v] where
+	// it ends after routing SWAPs. Both cover all device qubits (padding
+	// virtual qubits beyond the program's).
+	Initial []int
+	Final   []int
+	// SwapsAdded counts routing SWAPs before their 3-CX expansion.
+	SwapsAdded int
+	Graph      *topo.Graph
+}
+
+// TwoQubitGates returns the compiled two-qubit gate count, the paper's
+// hardware-independent quality metric.
+func (r *Result) TwoQubitGates() int { return r.Physical.TwoQubitCount() }
+
+// Compile runs the selected pipeline on the input circuit for the device.
+func Compile(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
+	if input.NumQubits > g.NumQubits() {
+		return nil, fmt.Errorf("compiler: circuit needs %d qubits, device %s has %d", input.NumQubits, g.Name(), g.NumQubits())
+	}
+	if err := input.Validate(); err != nil {
+		return nil, err
+	}
+	source := input
+	if opts.Optimize {
+		source = optimize.CancelCommuting(input)
+	}
+	var res *Result
+	var err error
+	switch opts.Pipeline {
+	case Conventional:
+		res, err = compileConventional(source, g, opts)
+	case TriosPipeline:
+		res, err = compileTrios(source, g, opts)
+	case GroupsPipeline:
+		res, err = compileGroups(source, g, opts)
+	default:
+		return nil, fmt.Errorf("compiler: unknown pipeline %d", int(opts.Pipeline))
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Input = input
+	if opts.Optimize {
+		cleaned := optimize.CancelCommuting(res.Physical)
+		consolidated, err := optimize.Consolidate1Q(cleaned)
+		if err != nil {
+			return nil, err
+		}
+		res.Physical = consolidated
+	}
+	return res, nil
+}
+
+func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options) (*layout.Layout, error) {
+	if opts.InitialLayout != nil {
+		v2p := make([]int, g.NumQubits())
+		used := make([]bool, g.NumQubits())
+		if len(opts.InitialLayout) > g.NumQubits() {
+			return nil, fmt.Errorf("compiler: initial layout longer than device")
+		}
+		for v, p := range opts.InitialLayout {
+			if p < 0 || p >= g.NumQubits() || used[p] {
+				return nil, fmt.Errorf("compiler: bad initial layout entry %d->%d", v, p)
+			}
+			v2p[v] = p
+			used[p] = true
+		}
+		next := 0
+		for v := len(opts.InitialLayout); v < g.NumQubits(); v++ {
+			for used[next] {
+				next++
+			}
+			v2p[v] = next
+			used[next] = true
+		}
+		return layout.FromVirtualToPhys(v2p)
+	}
+	switch opts.Placement {
+	case PlaceGreedy:
+		// With noise weights, placement is noise-aware too (§4's pairing of
+		// noise-aware mapping and routing).
+		return layout.GreedyWeighted(c, g, opts.NoiseWeight)
+	case PlaceRandom:
+		return layout.Random(g.NumQubits(), rand.New(rand.NewSource(opts.Seed))), nil
+	default:
+		return layout.Identity(g.NumQubits()), nil
+	}
+}
+
+// pickRouter builds the routing pass for the selected strategy; trioAware
+// is set by the Trios pipeline, whose router must accept intact CCX gates.
+func pickRouter(opts Options, trioAware bool) (route.Router, error) {
+	switch opts.Router {
+	case RouteDirect:
+		if trioAware {
+			return &route.Trios{Seed: opts.Seed, Weight: opts.NoiseWeight}, nil
+		}
+		return &route.Baseline{Seed: opts.Seed, Weight: opts.NoiseWeight}, nil
+	case RouteStochastic:
+		if opts.NoiseWeight != nil {
+			return nil, fmt.Errorf("compiler: noise-aware routing requires RouteDirect")
+		}
+		return &route.Stochastic{Seed: opts.Seed, TrioAware: trioAware}, nil
+	case RouteLookahead:
+		if opts.NoiseWeight != nil {
+			return nil, fmt.Errorf("compiler: noise-aware routing requires RouteDirect")
+		}
+		return &route.Lookahead{Seed: opts.Seed, TrioAware: trioAware}, nil
+	}
+	return nil, fmt.Errorf("compiler: unknown router kind %d", int(opts.Router))
+}
+
+func compileConventional(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
+	mode := opts.Mode
+	if mode == decompose.Auto {
+		mode = decompose.Six // Qiskit's default Toffoli expansion
+	}
+	decomposed, err := decompose.ToffoliAll(input, mode)
+	if err != nil {
+		return nil, err
+	}
+	init, err := initialLayout(decomposed, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	router, err := pickRouter(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	routed, err := router.Route(decomposed, g, init)
+	if err != nil {
+		return nil, err
+	}
+	physical, err := decompose.LowerToBasis(routed.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Input:      input,
+		Physical:   physical,
+		Initial:    init.VirtualToPhys(),
+		Final:      routed.Final.VirtualToPhys(),
+		SwapsAdded: routed.SwapsAdded,
+		Graph:      g,
+	}, nil
+}
+
+func compileTrios(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
+	kept, err := decompose.KeepToffoli(input)
+	if err != nil {
+		return nil, err
+	}
+	init, err := initialLayout(kept, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	router, err := pickRouter(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	routed, err := router.Route(kept, g, init)
+	if err != nil {
+		return nil, err
+	}
+	mode := opts.Mode
+	if mode == decompose.Six {
+		// Forced 6-CNOT: decompose, then patch non-adjacent CNOTs with a
+		// fixup routing pass whose layout starts at identity over physical
+		// positions.
+		second, err := decompose.MappingAware(routed.Circuit, g, decompose.Six)
+		if err != nil {
+			return nil, err
+		}
+		fixRouter := &route.Baseline{Seed: opts.Seed + 1, Weight: opts.NoiseWeight}
+		fixed, err := fixRouter.Route(second, g, layout.Identity(g.NumQubits()))
+		if err != nil {
+			return nil, err
+		}
+		physical, err := decompose.LowerToBasis(fixed.Circuit)
+		if err != nil {
+			return nil, err
+		}
+		// Compose final placements: v -> trios-final -> fixup-final.
+		final := make([]int, g.NumQubits())
+		for v := 0; v < g.NumQubits(); v++ {
+			final[v] = fixed.Final.Phys(routed.Final.Phys(v))
+		}
+		return &Result{
+			Input:      input,
+			Physical:   physical,
+			Initial:    init.VirtualToPhys(),
+			Final:      final,
+			SwapsAdded: routed.SwapsAdded + fixed.SwapsAdded,
+			Graph:      g,
+		}, nil
+	}
+	if mode == decompose.Auto || mode == decompose.Eight {
+		second, err := decompose.MappingAware(routed.Circuit, g, mode)
+		if err != nil {
+			return nil, err
+		}
+		physical, err := decompose.LowerToBasis(second)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Input:      input,
+			Physical:   physical,
+			Initial:    init.VirtualToPhys(),
+			Final:      routed.Final.VirtualToPhys(),
+			SwapsAdded: routed.SwapsAdded,
+			Graph:      g,
+		}, nil
+	}
+	return nil, fmt.Errorf("compiler: unsupported toffoli mode %v", opts.Mode)
+}
+
+// compileGroups implements the experimental any-arity pipeline: keep CCX and
+// MCX intact, route groups, expand MCX in place borrowing nearby wires, then
+// finish with the Trios machinery (second routing pass for the expansion's
+// stray pairs/trios, mapping-aware decomposition, lowering).
+func compileGroups(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
+	kept, err := decompose.KeepMultiQubit(input)
+	if err != nil {
+		return nil, err
+	}
+	init, err := initialLayout(kept, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	grouper := &route.Groups{Seed: opts.Seed}
+	routed, err := grouper.Route(kept, g, init)
+	if err != nil {
+		return nil, err
+	}
+	expanded, err := decompose.ExpandMCXNearby(routed.Circuit, g)
+	if err != nil {
+		return nil, err
+	}
+	// Fixup: the expansion's Toffolis sit near their group but are not
+	// guaranteed adjacent; a Trios pass over physical qubits patches them.
+	fixRouter := &route.Trios{Seed: opts.Seed + 1}
+	fixed, err := fixRouter.Route(expanded, g, layout.Identity(g.NumQubits()))
+	if err != nil {
+		return nil, err
+	}
+	second, err := decompose.MappingAware(fixed.Circuit, g, decompose.Auto)
+	if err != nil {
+		return nil, err
+	}
+	physical, err := decompose.LowerToBasis(second)
+	if err != nil {
+		return nil, err
+	}
+	final := make([]int, g.NumQubits())
+	for v := 0; v < g.NumQubits(); v++ {
+		final[v] = fixed.Final.Phys(routed.Final.Phys(v))
+	}
+	return &Result{
+		Input:      input,
+		Physical:   physical,
+		Initial:    init.VirtualToPhys(),
+		Final:      final,
+		SwapsAdded: routed.SwapsAdded + fixed.SwapsAdded,
+		Graph:      g,
+	}, nil
+}
+
+// Verify checks that a compiled result respects the device coupling graph:
+// every cx acts on a connected pair and only basis gates appear.
+func (r *Result) Verify() error {
+	for i, g := range r.Physical.Gates {
+		switch g.Name {
+		case circuit.U1, circuit.U2, circuit.U3, circuit.Measure, circuit.Barrier:
+		case circuit.CX:
+			if !r.Graph.Connected(g.Qubits[0], g.Qubits[1]) {
+				return fmt.Errorf("compiler: gate %d cx(%d,%d) not on a coupling of %s", i, g.Qubits[0], g.Qubits[1], r.Graph.Name())
+			}
+		default:
+			return fmt.Errorf("compiler: gate %d has non-basis gate %v", i, g.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package compiler
+
+import (
+	"fmt"
+
+	"trios/internal/circuit"
+	"trios/internal/topo"
+)
+
+// CompileBest runs `attempts` seeded compilations with diverse stochastic
+// choices and returns the result minimizing the given cost (two-qubit gate
+// count when cost is nil). This is the "ensemble of diverse mappings" idea
+// the paper cites (Tannu & Qureshi): stochastic routing makes compilation
+// cheap to replicate and the best replica is often meaningfully better than
+// the average one.
+//
+// For attempts beyond the first, random placement replaces the configured
+// one so the ensemble actually explores distinct mappings (matching the
+// cited technique); attempt 0 keeps the caller's placement so CompileBest
+// never does worse than Compile.
+func CompileBest(input *circuit.Circuit, g *topo.Graph, opts Options, attempts int, cost func(*Result) float64) (*Result, error) {
+	if attempts < 1 {
+		return nil, fmt.Errorf("compiler: attempts must be >= 1, got %d", attempts)
+	}
+	if cost == nil {
+		cost = func(r *Result) float64 { return float64(r.TwoQubitGates()) }
+	}
+	var best *Result
+	bestCost := 0.0
+	for i := 0; i < attempts; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)*7919 // decorrelate attempts
+		if i > 0 && o.InitialLayout == nil {
+			o.Placement = PlaceRandom
+		}
+		res, err := Compile(input, g, o)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: ensemble attempt %d: %w", i, err)
+		}
+		if c := cost(res); best == nil || c < bestCost {
+			best, bestCost = res, c
+		}
+	}
+	return best, nil
+}

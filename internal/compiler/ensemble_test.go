@@ -1,0 +1,62 @@
+package compiler
+
+import (
+	"testing"
+
+	"trios/internal/benchmarks"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+func TestCompileBestNeverWorseThanSingle(t *testing.T) {
+	src, err := benchmarks.CnXDirty(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Johannesburg()
+	opts := Options{Pipeline: TriosPipeline, Router: RouteStochastic, Placement: PlaceGreedy, Seed: 5}
+	single, err := Compile(src, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := CompileBest(src, g, opts, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.TwoQubitGates() > single.TwoQubitGates() {
+		t.Errorf("ensemble best %d > single %d", best.TwoQubitGates(), single.TwoQubitGates())
+	}
+	if err := best.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileBestCustomCost(t *testing.T) {
+	src, err := benchmarks.CnXDirty(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Grid5x4()
+	model := noise.Johannesburg0819().Improved(20)
+	cost := func(r *Result) float64 {
+		p, err := noise.SuccessProbability(r.Physical, model)
+		if err != nil {
+			return 0
+		}
+		return -p // maximize success
+	}
+	best, err := CompileBest(src, g, Options{Pipeline: TriosPipeline, Seed: 2}, 5, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileBestValidation(t *testing.T) {
+	src, _ := benchmarks.CnXDirty(6)
+	if _, err := CompileBest(src, topo.Johannesburg(), Options{}, 0, nil); err == nil {
+		t.Error("expected error for 0 attempts")
+	}
+}

@@ -1,0 +1,78 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/topo"
+)
+
+func TestGroupsPipelineSingleMCX(t *testing.T) {
+	g := topo.Grid(2, 4)
+	c := circuit.New(5)
+	c.MCX([]int{0, 1, 2, 3}, 4)
+	res, err := Compile(c, g, Options{Pipeline: GroupsPipeline, Placement: PlaceGreedy, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCompiled(t, res)
+}
+
+func TestGroupsPipelineRandomCircuits(t *testing.T) {
+	graphs := []*topo.Graph{topo.Line(8), topo.Grid(2, 4), topo.Ring(8)}
+	rng := rand.New(rand.NewSource(31))
+	for _, g := range graphs {
+		for trial := 0; trial < 3; trial++ {
+			c := circuit.New(g.NumQubits())
+			for i := 0; i < 8; i++ {
+				p := rng.Perm(g.NumQubits())
+				switch rng.Intn(4) {
+				case 0:
+					c.MCX(p[:3], p[3])
+				case 1:
+					c.CCX(p[0], p[1], p[2])
+				case 2:
+					c.CX(p[0], p[1])
+				default:
+					c.H(p[0])
+				}
+			}
+			res, err := Compile(c, g, Options{Pipeline: GroupsPipeline, Seed: int64(trial)})
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			verifyCompiled(t, res)
+		}
+	}
+}
+
+// TestGroupsVersusTriosOnCnX compares the experimental any-arity pipeline
+// with the standard Trios pipeline on a large CnX. The paper conjectures
+// routing >3 qubits simultaneously may pay off only at larger scales; the
+// test documents that both compile correctly and reports no required
+// winner, only that Groups stays within a reasonable factor.
+func TestGroupsVersusTriosOnCnX(t *testing.T) {
+	g := topo.Johannesburg()
+	c := circuit.New(11)
+	c.MCX([]int{0, 1, 2, 3, 4, 5}, 10) // 6 controls, dirty wires 6..9 free
+	trios, err := Compile(c, g, Options{Pipeline: TriosPipeline, Placement: PlaceGreedy, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := Compile(c, g, Options{Pipeline: GroupsPipeline, Placement: PlaceGreedy, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trios.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := groups.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tq, gq := trios.TwoQubitGates(), groups.TwoQubitGates()
+	t.Logf("C6X on johannesburg: trios %d two-qubit gates, groups %d", tq, gq)
+	if gq > 3*tq {
+		t.Errorf("groups pipeline wildly worse: %d vs %d", gq, tq)
+	}
+}

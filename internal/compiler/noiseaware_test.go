@@ -1,0 +1,159 @@
+package compiler
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+// TestNoiseAwareRoutingAvoidsHotEdges exercises the paper's §4 noise-aware
+// extension end to end: with one very bad coupling on the only short path,
+// weighting routing edges by -log CNOT success must steer SWAPs around it
+// and yield a higher per-edge success estimate than noise-blind routing.
+func TestNoiseAwareRoutingAvoidsHotEdges(t *testing.T) {
+	// Ring of 7: the unique shortest path 0-1-2-3 crosses a hot coupling;
+	// the one-hop-longer way around (0-6-5-4-3) is clean. Noise-blind
+	// routing must take the short hot path; noise-aware must detour.
+	g := topo.Ring(7)
+	em := noise.UniformEdgeMap(g, 0.005)
+	em.SetError(1, 2, 0.35)
+
+	src := circuit.New(2)
+	src.CX(0, 1)
+	init := []int{0, 3}
+
+	blind, err := Compile(src, g, Options{Pipeline: Conventional, InitialLayout: init, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Compile(src, g, Options{
+		Pipeline: Conventional, InitialLayout: init, Seed: 2,
+		NoiseWeight: em.RouteWeight(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := noise.Johannesburg0819()
+	model.ReadoutError = 0
+	pBlind, err := noise.SuccessProbabilityEdges(blind.Physical, model, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAware, err := noise.SuccessProbabilityEdges(aware.Physical, model, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The noise-aware route detours around qubit 4's hot couplings.
+	for _, gate := range aware.Physical.Gates {
+		if gate.Name == circuit.CX {
+			e, err := em.Error(gate.Qubits[0], gate.Qubits[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e > 0.3 {
+				t.Errorf("noise-aware routing used hot edge (%d,%d)", gate.Qubits[0], gate.Qubits[1])
+			}
+		}
+	}
+	if pAware <= pBlind {
+		t.Errorf("noise-aware success %v <= blind %v", pAware, pBlind)
+	}
+}
+
+// TestNoiseAwareTrioRouting checks the Trios pipeline accepts edge weights
+// and produces legal, verified circuits under them.
+func TestNoiseAwareTrioRouting(t *testing.T) {
+	g := topo.Grid(3, 3)
+	em := noise.SyntheticCalibration(g, 0.01, 0.6, 2, 9)
+	src := circuit.New(3)
+	src.CCX(0, 1, 2)
+	res, err := Compile(src, g, Options{
+		Pipeline:      TriosPipeline,
+		InitialLayout: []int{0, 8, 6},
+		NoiseWeight:   em.RouteWeight(),
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCompiled(t, res)
+}
+
+// TestNoiseAwareTrioAvoidsHotCoupler reproduces the examples/noiseaware
+// scenario: a Toffoli straddling degraded couplers must form its trio on
+// clean edges when routing is noise-aware, even at the cost of extra SWAPs.
+func TestNoiseAwareTrioAvoidsHotCoupler(t *testing.T) {
+	g := topo.Johannesburg()
+	hot := [][2]int{{7, 12}, {5, 10}, {6, 7}}
+	em := noise.UniformEdgeMap(g, 0.005)
+	for _, e := range hot {
+		em.SetError(e[0], e[1], 0.35)
+	}
+	src := circuit.New(3)
+	src.CCX(0, 1, 2)
+	aware, err := Compile(src, g, Options{
+		Pipeline:      TriosPipeline,
+		InitialLayout: []int{2, 11, 15},
+		NoiseWeight:   em.RouteWeight(),
+		Seed:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aware.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, gate := range aware.Physical.Gates {
+		if gate.Name != circuit.CX {
+			continue
+		}
+		e, err := em.Error(gate.Qubits[0], gate.Qubits[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 0.3 {
+			t.Errorf("noise-aware trio used hot coupler (%d,%d)", gate.Qubits[0], gate.Qubits[1])
+		}
+	}
+	// And it must beat the blind compilation under the per-edge model.
+	blind, err := Compile(src, g, Options{
+		Pipeline:      TriosPipeline,
+		InitialLayout: []int{2, 11, 15},
+		Seed:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := noise.Johannesburg0819()
+	model.ReadoutError = 0
+	pAware, err := noise.SuccessProbabilityEdges(aware.Physical, model, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBlind, err := noise.SuccessProbabilityEdges(blind.Physical, model, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pAware <= pBlind {
+		t.Errorf("noise-aware %v <= blind %v", pAware, pBlind)
+	}
+}
+
+// TestStochasticRouterRejectsNoiseWeight documents that the era-faithful
+// stochastic baseline has no noise-aware mode (matching Qiskit 0.14).
+func TestStochasticRouterRejectsNoiseWeight(t *testing.T) {
+	g := topo.Grid(2, 3)
+	src := circuit.New(2)
+	src.CX(0, 1)
+	_, err := Compile(src, g, Options{
+		Pipeline:    Conventional,
+		Router:      RouteStochastic,
+		NoiseWeight: func(a, b int) float64 { return 1 },
+	})
+	if err == nil {
+		t.Error("expected error combining stochastic router with noise weights")
+	}
+}

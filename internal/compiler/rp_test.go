@@ -1,0 +1,97 @@
+package compiler
+
+import (
+	"testing"
+
+	"trios/internal/benchmarks"
+	"trios/internal/sim"
+	"trios/internal/topo"
+)
+
+// TestRelativePhaseTriosEndToEnd compiles the relative-phase CnX through
+// the Trios pipeline on every topology, verifying correctness (truth table
+// through the compiled circuit) and that the Margolus trios pay off in
+// two-qubit gates versus the exact-Toffoli version.
+func TestRelativePhaseTriosEndToEnd(t *testing.T) {
+	exact, err := benchmarks.CnXLogAncilla(6) // 11 qubits
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := benchmarks.CnXLogAncillaRP(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range topo.PaperTopologies() {
+		resExact, err := Compile(exact, g, Options{Pipeline: TriosPipeline, Placement: PlaceGreedy, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s exact: %v", g.Name(), err)
+		}
+		resRP, err := Compile(rp, g, Options{Pipeline: TriosPipeline, Placement: PlaceGreedy, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s rp: %v", g.Name(), err)
+		}
+		if err := resRP.Verify(); err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if resRP.TwoQubitGates() >= resExact.TwoQubitGates() {
+			t.Errorf("%s: RP %d two-qubit gates >= exact %d",
+				g.Name(), resRP.TwoQubitGates(), resExact.TwoQubitGates())
+		}
+		// Functional spot checks through the compiled circuit: control
+		// patterns all-ones (flips target) and one-zero (doesn't).
+		for _, pattern := range []uint64{0b111111, 0b011111, 0} {
+			var physIn uint64
+			for v := 0; v < 6; v++ {
+				if pattern&(1<<uint(v)) != 0 {
+					physIn |= 1 << uint(resRP.Initial[v])
+				}
+			}
+			physOut, err := sim.ClassicalOutput(resRP.Physical, physIn)
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			gotTarget := physOut&(1<<uint(resRP.Final[10])) != 0
+			wantTarget := pattern == 0b111111
+			if gotTarget != wantTarget {
+				t.Fatalf("%s: pattern %06b: target=%v want %v", g.Name(), pattern, gotTarget, wantTarget)
+			}
+		}
+	}
+}
+
+// TestRelativePhaseGroverCompiled verifies the RP Grover end to end: the
+// compiled circuit still concentrates amplitude on the marked state, and
+// costs fewer two-qubit gates than the exact version.
+func TestRelativePhaseGroverCompiled(t *testing.T) {
+	exact, err := benchmarks.Grover(4) // 5 qubits: fast statevector
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := benchmarks.GroverRP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Grid(3, 3)
+	resExact, err := Compile(exact, g, Options{Pipeline: TriosPipeline, Placement: PlaceGreedy, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRP, err := Compile(rp, g, Options{Pipeline: TriosPipeline, Placement: PlaceGreedy, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRP.TwoQubitGates() >= resExact.TwoQubitGates() {
+		t.Errorf("RP grover %d two-qubit gates >= exact %d", resRP.TwoQubitGates(), resExact.TwoQubitGates())
+	}
+	state := sim.NewState(g.NumQubits())
+	if err := state.ApplyCircuit(resRP.Physical); err != nil {
+		t.Fatal(err)
+	}
+	var marked uint64
+	for v := 0; v < 4; v++ {
+		marked |= 1 << uint(resRP.Final[v])
+	}
+	if p := state.Probability(marked); p < 0.9 {
+		t.Errorf("compiled RP grover marked probability = %v", p)
+	}
+}

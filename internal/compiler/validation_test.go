@@ -1,0 +1,76 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/noise"
+	"trios/internal/sim"
+	"trios/internal/topo"
+)
+
+// TestClosedFormAgainstMonteCarlo cross-validates the experiment
+// methodology end to end: compile a Toffoli circuit, estimate its success
+// with the paper's closed-form model (gate errors only), and compare with
+// trajectory-level Monte-Carlo error injection on the compiled circuit.
+// The closed form counts any error event as failure, so it must lower-bound
+// the Monte Carlo within sampling error, and track it closely at small
+// error rates.
+func TestClosedFormAgainstMonteCarlo(t *testing.T) {
+	g := topo.Line(8)
+	src := circuit.New(3)
+	src.X(0)
+	src.X(1)
+	src.CCX(0, 1, 2)
+	res, err := Compile(src, g, Options{
+		Pipeline:      TriosPipeline,
+		InitialLayout: []int{0, 3, 6},
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Closed form with effectively-disabled decoherence and readout so both
+	// models charge exactly the per-gate error terms.
+	model := noise.Params{
+		T1: 1e12, T2: 1e12,
+		Times:         noise.Johannesburg0819().Times,
+		OneQubitError: 0.001,
+		TwoQubitError: 0.01,
+	}
+	analytic, err := noise.SuccessProbability(res.Physical, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Monte Carlo on the compiled circuit. The Pauli model charges each
+	// *operand* of a two-qubit gate independently, so its per-gate
+	// error is 1-(1-e)^2; halve the rate to match the closed form's
+	// per-gate accounting.
+	pn := sim.PauliNoise{
+		OneQubitError: 0.001,
+		TwoQubitError: 1 - math.Sqrt(1-0.01),
+	}
+	expect := uint64(0)
+	var mask uint64
+	for v := 0; v < 3; v++ {
+		mask |= 1 << uint(res.Final[v])
+	}
+	// |110> in -> |111| out at the final physical positions.
+	for v := 0; v < 3; v++ {
+		expect |= 1 << uint(res.Final[v])
+	}
+	mc, err := sim.MonteCarloSuccess(res.Physical, pn, expect, mask, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 3*math.Sqrt(analytic*(1-analytic)/4000) + 0.01
+	if mc < analytic-tol {
+		t.Errorf("monte carlo %v below closed form %v (tol %v)", mc, analytic, tol)
+	}
+	if mc > analytic+0.1 {
+		t.Errorf("monte carlo %v far above closed form %v: model drift", mc, analytic)
+	}
+}

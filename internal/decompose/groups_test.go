@@ -1,0 +1,96 @@
+package decompose
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+	"trios/internal/topo"
+)
+
+func TestKeepMultiQubitPreservesMCXAndCCX(t *testing.T) {
+	c := circuit.New(5)
+	c.MCX([]int{0, 1, 2}, 3).CCX(0, 1, 2).CCZ(0, 1, 4)
+	out, err := KeepMultiQubit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountName(circuit.MCX) != 1 || out.CountName(circuit.CCX) != 2 {
+		t.Errorf("gate mix wrong: %v", out.Gates)
+	}
+	if out.CountName(circuit.CCZ) != 0 {
+		t.Error("ccz should normalize to ccx")
+	}
+	mustEquivalent(t, c, out, "keep multi qubit")
+}
+
+func TestExpandMCXNearbyUsesCloseWires(t *testing.T) {
+	g := topo.Line(10)
+	c := circuit.New(10)
+	// MCX with 4 controls clustered at one end; borrowed wires should be
+	// the adjacent ones, not the far end.
+	c.MCX([]int{0, 1, 2, 3}, 4)
+	out, err := ExpandMCXNearby(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountName(circuit.MCX) != 0 {
+		t.Error("mcx not expanded")
+	}
+	ok, err := sim.SameClassicalFunction(c, out, 1<<10)
+	if err != nil || !ok {
+		t.Fatalf("expansion wrong: %v %v", ok, err)
+	}
+	// Borrowed wires must stay near the cluster: nothing beyond wire 7
+	// should be touched (need 2 borrowed; 5 and 6 are nearest).
+	for _, gate := range out.Gates {
+		for _, q := range gate.Qubits {
+			if q > 7 {
+				t.Errorf("expansion borrowed distant wire %d: %v", q, gate)
+			}
+		}
+	}
+}
+
+func TestExpandMCXNearbyNoBorrowableWire(t *testing.T) {
+	g := topo.Line(5)
+	c := circuit.New(5)
+	c.MCX([]int{0, 1, 2, 3}, 4) // all wires in use
+	if _, err := ExpandMCXNearby(c, g); err == nil {
+		t.Error("expected error: no borrowable wire")
+	}
+}
+
+func TestExpandMCXNearbyPassesThroughOtherGates(t *testing.T) {
+	g := topo.Line(6)
+	c := circuit.New(6)
+	c.H(0).CX(0, 1).CCX(0, 1, 2)
+	out, err := ExpandMCXNearby(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(c) {
+		t.Error("mcx-free circuit should pass through unchanged")
+	}
+}
+
+func TestNearestFreeWiresOrdering(t *testing.T) {
+	g := topo.Line(8)
+	free := nearestFreeWires(g, []int{3, 4}, 3)
+	if len(free) != 3 {
+		t.Fatalf("free = %v", free)
+	}
+	// BFS from {3,4}: nearest free are 2 and 5, then 1 or 6.
+	if !(free[0] == 2 || free[0] == 5) || !(free[1] == 2 || free[1] == 5) {
+		t.Errorf("nearest wires wrong: %v", free)
+	}
+}
+
+func TestToffoliModeString(t *testing.T) {
+	if Auto.String() != "auto" || Six.String() != "6-cnot" || Eight.String() != "8-cnot" {
+		t.Error("mode strings wrong")
+	}
+	if ToffoliMode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"trios/internal/benchmarks"
+	"trios/internal/compiler"
+	"trios/internal/topo"
+)
+
+// AblationResult records one configuration of the ablation study over the
+// compiler's design choices: routing strategy x initial placement x
+// optimization, for each pipeline.
+type AblationResult struct {
+	Benchmark string
+	Config    string
+	Pipeline  compiler.Pipeline
+	TwoQubit  int
+	Swaps     int
+	Depth     int
+}
+
+// AblationConfigs enumerates the design-choice grid.
+var AblationConfigs = []struct {
+	Label     string
+	Router    compiler.RouterKind
+	Placement compiler.Placement
+	Optimize  bool
+}{
+	{"stochastic+identity", compiler.RouteStochastic, compiler.PlaceIdentity, false},
+	{"stochastic+greedy", compiler.RouteStochastic, compiler.PlaceGreedy, false},
+	{"lookahead+identity", compiler.RouteLookahead, compiler.PlaceIdentity, false},
+	{"lookahead+greedy", compiler.RouteLookahead, compiler.PlaceGreedy, false},
+	{"direct+identity", compiler.RouteDirect, compiler.PlaceIdentity, false},
+	{"direct+greedy", compiler.RouteDirect, compiler.PlaceGreedy, false},
+	{"direct+greedy+opt", compiler.RouteDirect, compiler.PlaceGreedy, true},
+}
+
+// Ablation compiles the given benchmark on Johannesburg under every
+// configuration and pipeline, quantifying how much of the Trios win
+// survives as the surrounding compiler gets stronger.
+func Ablation(benchName string, seed int64) ([]AblationResult, error) {
+	b, err := benchmarks.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g := topo.Johannesburg()
+	var out []AblationResult
+	for _, cfg := range AblationConfigs {
+		for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
+			res, err := compiler.Compile(c, g, compiler.Options{
+				Pipeline:  pipe,
+				Router:    cfg.Router,
+				Placement: cfg.Placement,
+				Optimize:  cfg.Optimize,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s/%v: %w", cfg.Label, pipe, err)
+			}
+			if err := res.Verify(); err != nil {
+				return nil, err
+			}
+			out = append(out, AblationResult{
+				Benchmark: benchName,
+				Config:    cfg.Label,
+				Pipeline:  pipe,
+				TwoQubit:  res.TwoQubitGates(),
+				Swaps:     res.SwapsAdded,
+				Depth:     res.Physical.Depth(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteAblation prints the ablation grid with the per-config Trios
+// advantage.
+func WriteAblation(w io.Writer, results []AblationResult) {
+	fmt.Fprintln(w, "Ablation: Trios advantage across compiler design choices (Johannesburg)")
+	fmt.Fprintf(w, "%-28s %-22s %10s %10s %10s\n", "benchmark", "config", "baseline", "trios", "reduction")
+	byKey := map[string][2]AblationResult{}
+	var order []string
+	for _, r := range results {
+		key := r.Benchmark + "|" + r.Config
+		pair := byKey[key]
+		if r.Pipeline == compiler.Conventional {
+			pair[0] = r
+		} else {
+			pair[1] = r
+		}
+		if _, seen := byKey[key]; !seen {
+			order = append(order, key)
+		}
+		byKey[key] = pair
+	}
+	for _, key := range order {
+		pair := byKey[key]
+		base, trios := pair[0], pair[1]
+		red := 0.0
+		if base.TwoQubit > 0 {
+			red = 100 * float64(base.TwoQubit-trios.TwoQubit) / float64(base.TwoQubit)
+		}
+		fmt.Fprintf(w, "%-28s %-22s %10d %10d %9.1f%%\n",
+			base.Benchmark, base.Config, base.TwoQubit, trios.TwoQubit, red)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"trios/internal/compiler"
+)
+
+func TestAblationGridComplete(t *testing.T) {
+	rs, err := Ablation("cnx_dirty-11", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2*len(AblationConfigs) {
+		t.Fatalf("results = %d, want %d", len(rs), 2*len(AblationConfigs))
+	}
+	seen := map[string]int{}
+	for _, r := range rs {
+		seen[r.Config]++
+		if r.TwoQubit <= 0 || r.Depth <= 0 {
+			t.Errorf("%s/%v: degenerate metrics %+v", r.Config, r.Pipeline, r)
+		}
+	}
+	for _, cfg := range AblationConfigs {
+		if seen[cfg.Label] != 2 {
+			t.Errorf("config %q has %d results, want 2", cfg.Label, seen[cfg.Label])
+		}
+	}
+}
+
+func TestAblationTriosWinsOnToffoliHeavyBenchmark(t *testing.T) {
+	rs, err := Ablation("grovers-9", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConfig := map[string]map[compiler.Pipeline]int{}
+	for _, r := range rs {
+		if byConfig[r.Config] == nil {
+			byConfig[r.Config] = map[compiler.Pipeline]int{}
+		}
+		byConfig[r.Config][r.Pipeline] = r.TwoQubit
+	}
+	for cfg, m := range byConfig {
+		if m[compiler.TriosPipeline] >= m[compiler.Conventional] {
+			t.Errorf("%s: trios %d >= baseline %d", cfg, m[compiler.TriosPipeline], m[compiler.Conventional])
+		}
+	}
+}
+
+func TestAblationUnknownBenchmark(t *testing.T) {
+	if _, err := Ablation("nope", 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWriteAblation(t *testing.T) {
+	rs, err := Ablation("cnx_inplace-4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, rs)
+	out := sb.String()
+	if !strings.Contains(out, "cnx_inplace-4") || !strings.Contains(out, "direct+greedy") {
+		t.Errorf("ablation report incomplete:\n%s", out)
+	}
+}

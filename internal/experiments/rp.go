@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+// RPResult compares exact-Toffoli Trios compilation against the
+// relative-phase (Margolus) variant for one benchmark/topology.
+type RPResult struct {
+	Benchmark    string
+	Topology     string
+	ExactCNOTs   int
+	RPCNOTs      int
+	ReductionPct float64
+	ExactSuccess float64
+	RPSuccess    float64
+}
+
+// RelativePhase sweeps the RP-enabled benchmarks across the paper
+// topologies: both versions compile with the Trios pipeline; the RP version
+// routes Margolus trios target-in-the-middle and lowers them to 3 CNOTs.
+func RelativePhase(model noise.Params, seed int64) ([]RPResult, error) {
+	cases := []struct {
+		name  string
+		exact func() (*circuit.Circuit, error)
+		rp    func() (*circuit.Circuit, error)
+	}{
+		{"cnx_logancilla-19", func() (*circuit.Circuit, error) { return benchmarks.CnXLogAncilla(10) },
+			func() (*circuit.Circuit, error) { return benchmarks.CnXLogAncillaRP(10) }},
+		{"grovers-9", func() (*circuit.Circuit, error) { return benchmarks.Grover(6) },
+			func() (*circuit.Circuit, error) { return benchmarks.GroverRP(6) }},
+	}
+	var out []RPResult
+	for _, cs := range cases {
+		exact, err := cs.exact()
+		if err != nil {
+			return nil, err
+		}
+		rp, err := cs.rp()
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range topo.PaperTopologies() {
+			opts := compiler.Options{Pipeline: compiler.TriosPipeline, Placement: compiler.PlaceGreedy, Seed: seed}
+			resExact, err := compiler.Compile(exact, g, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s exact on %s: %w", cs.name, g.Name(), err)
+			}
+			resRP, err := compiler.Compile(rp, g, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s rp on %s: %w", cs.name, g.Name(), err)
+			}
+			pe, err := noise.SuccessProbability(resExact.Physical, model)
+			if err != nil {
+				return nil, err
+			}
+			pr, err := noise.SuccessProbability(resRP.Physical, model)
+			if err != nil {
+				return nil, err
+			}
+			r := RPResult{
+				Benchmark:    cs.name,
+				Topology:     g.Name(),
+				ExactCNOTs:   resExact.TwoQubitGates(),
+				RPCNOTs:      resRP.TwoQubitGates(),
+				ExactSuccess: pe,
+				RPSuccess:    pr,
+			}
+			if r.ExactCNOTs > 0 {
+				r.ReductionPct = 100 * float64(r.ExactCNOTs-r.RPCNOTs) / float64(r.ExactCNOTs)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteRP prints the relative-phase comparison.
+func WriteRP(w io.Writer, results []RPResult) {
+	fmt.Fprintln(w, "Relative-phase trios: exact vs Margolus ladder Toffolis (Trios pipeline)")
+	fmt.Fprintf(w, "%-22s %-22s %8s %8s %10s %12s %12s\n",
+		"benchmark", "topology", "exact", "rp", "reduction", "exact succ", "rp succ")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-22s %-22s %8d %8d %9.1f%% %12.4g %12.4g\n",
+			r.Benchmark, r.Topology, r.ExactCNOTs, r.RPCNOTs, r.ReductionPct, r.ExactSuccess, r.RPSuccess)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/topo"
+)
+
+// ScalingPoint is one size of a parameterized benchmark family: how the
+// Trios advantage evolves as the workload grows toward filling the device.
+type ScalingPoint struct {
+	Family        string
+	Param         int
+	Qubits        int
+	Toffolis      int
+	BaselineCNOTs int
+	TriosCNOTs    int
+	ReductionPct  float64
+}
+
+// scalingFamily generates one member of a parameterized family.
+type scalingFamily struct {
+	Name   string
+	Params []int
+	Build  func(p int) (*circuit.Circuit, error)
+}
+
+func scalingFamilies() []scalingFamily {
+	return []scalingFamily{
+		{
+			Name:   "cnx_dirty",
+			Params: []int{3, 4, 5, 6, 7, 8, 9, 10},
+			Build:  benchmarks.CnXDirty,
+		},
+		{
+			Name:   "cnx_logancilla",
+			Params: []int{3, 4, 5, 6, 7, 8, 9, 10},
+			Build:  benchmarks.CnXLogAncilla,
+		},
+		{
+			Name:   "cuccaro_adder",
+			Params: []int{2, 3, 4, 5, 6, 7, 8, 9},
+			Build:  benchmarks.CuccaroAdder,
+		},
+		{
+			Name:   "takahashi_adder",
+			Params: []int{2, 3, 4, 5, 6, 7, 8, 9, 10},
+			Build:  benchmarks.TakahashiAdder,
+		},
+		{
+			Name:   "incrementer",
+			Params: []int{3, 4, 6, 8, 10, 14, 19},
+			Build:  benchmarks.IncrementerBorrowedBit,
+		},
+		{
+			Name:   "grover",
+			Params: []int{3, 4, 5, 6},
+			Build:  benchmarks.Grover,
+		},
+	}
+}
+
+// Scaling sweeps each benchmark family across sizes on Johannesburg,
+// compiling with both pipelines. It exposes where the Trios advantage comes
+// from: small instances route cheaply (little to win); as the circuit
+// approaches the full device, structure-aware routing matters more.
+func Scaling(seed int64) ([]ScalingPoint, error) {
+	g := topo.Johannesburg()
+	var out []ScalingPoint
+	for _, fam := range scalingFamilies() {
+		for _, p := range fam.Params {
+			c, err := fam.Build(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s(%d): %w", fam.Name, p, err)
+			}
+			if c.NumQubits > g.NumQubits() {
+				continue
+			}
+			base, err := compiler.Compile(c, g, compiler.Options{
+				Pipeline:  compiler.Conventional,
+				Router:    compiler.RouteStochastic,
+				Placement: compiler.PlaceIdentity,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s(%d) baseline: %w", fam.Name, p, err)
+			}
+			trios, err := compiler.Compile(c, g, compiler.Options{
+				Pipeline:  compiler.TriosPipeline,
+				Router:    compiler.RouteStochastic,
+				Placement: compiler.PlaceIdentity,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s(%d) trios: %w", fam.Name, p, err)
+			}
+			bc, tc := base.TwoQubitGates(), trios.TwoQubitGates()
+			pt := ScalingPoint{
+				Family:        fam.Name,
+				Param:         p,
+				Qubits:        c.NumQubits,
+				Toffolis:      c.CountName(circuit.CCX),
+				BaselineCNOTs: bc,
+				TriosCNOTs:    tc,
+			}
+			if bc > 0 {
+				pt.ReductionPct = 100 * float64(bc-tc) / float64(bc)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WriteScaling prints the per-family scaling tables.
+func WriteScaling(w io.Writer, points []ScalingPoint) {
+	fmt.Fprintln(w, "Scaling: Trios gate reduction vs benchmark size (Johannesburg)")
+	current := ""
+	for _, p := range points {
+		if p.Family != current {
+			current = p.Family
+			fmt.Fprintf(w, "%s:\n", p.Family)
+			fmt.Fprintf(w, "  %6s %7s %9s %10s %9s %10s\n", "param", "qubits", "toffolis", "baseline", "trios", "reduction")
+		}
+		fmt.Fprintf(w, "  %6d %7d %9d %10d %9d %9.1f%%\n",
+			p.Param, p.Qubits, p.Toffolis, p.BaselineCNOTs, p.TriosCNOTs, p.ReductionPct)
+	}
+}

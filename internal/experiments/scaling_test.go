@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingCoversAllFamilies(t *testing.T) {
+	points, err := Scaling(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]int{}
+	for _, p := range points {
+		families[p.Family]++
+		if p.Qubits <= 0 || p.Qubits > 20 {
+			t.Errorf("%s(%d): qubits = %d", p.Family, p.Param, p.Qubits)
+		}
+		if p.BaselineCNOTs <= 0 || p.TriosCNOTs <= 0 {
+			t.Errorf("%s(%d): degenerate counts %+v", p.Family, p.Param, p)
+		}
+		if p.Toffolis == 0 {
+			t.Errorf("%s(%d): scaling families should contain toffolis", p.Family, p.Param)
+		}
+	}
+	for _, fam := range []string{"cnx_dirty", "cnx_logancilla", "cuccaro_adder", "grover"} {
+		if families[fam] < 3 {
+			t.Errorf("family %s has only %d points", fam, families[fam])
+		}
+	}
+}
+
+func TestScalingTriosWinsAtFullDeviceSize(t *testing.T) {
+	points, err := Scaling(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest cnx sizes (19 qubits on a 20-qubit device) the Trios
+	// advantage should be solidly positive.
+	for _, p := range points {
+		if p.Family == "cnx_dirty" && p.Param == 10 && p.ReductionPct < 20 {
+			t.Errorf("cnx_dirty(10) reduction = %.1f%%, expected > 20%%", p.ReductionPct)
+		}
+	}
+}
+
+func TestWriteScaling(t *testing.T) {
+	points, err := Scaling(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteScaling(&sb, points)
+	out := sb.String()
+	for _, fam := range []string{"cnx_dirty", "grover"} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("scaling report missing %s", fam)
+		}
+	}
+}

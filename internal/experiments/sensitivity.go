@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"math"
+
+	"trios/internal/benchmarks"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+// SensitivityPoint is one (benchmark, improvement factor) sample of Fig. 12:
+// the success ratio p_trios / p_baseline on Johannesburg as device error
+// rates improve.
+type SensitivityPoint struct {
+	Benchmark string
+	Factor    float64
+	Ratio     float64
+}
+
+// DefaultFactors reproduces Fig. 12's log-spaced x-axis from current error
+// rates (factor 1) to a 100x improvement.
+func DefaultFactors() []float64 {
+	var fs []float64
+	for e := 0.0; e <= 2.0001; e += 0.25 {
+		fs = append(fs, math.Pow(10, e))
+	}
+	return fs
+}
+
+// Sensitivity compiles every Toffoli-bearing benchmark once on Johannesburg
+// and re-evaluates the success ratio across error-improvement factors
+// applied to the base model (the paper starts from current Johannesburg
+// rates; its dashed 20x line is the setting Figures 9-11 use).
+func Sensitivity(base noise.Params, factors []float64, seed int64) ([]SensitivityPoint, error) {
+	g := topo.Johannesburg()
+	var pairs []*CompiledPair
+	for _, b := range allToffoliBenchmarks() {
+		p, err := CompileBenchmark(b, g, seed)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, p)
+	}
+	var points []SensitivityPoint
+	for _, p := range pairs {
+		for _, f := range factors {
+			model := base.Improved(f)
+			r, err := p.Evaluate(model)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, SensitivityPoint{
+				Benchmark: p.Benchmark.Name,
+				Factor:    f,
+				Ratio:     r.Ratio,
+			})
+		}
+	}
+	return points, nil
+}
+
+// allToffoliBenchmarks returns the Table-1 workloads that contain Toffoli
+// gates (Fig. 12 plots only those; the rest are unaffected by Trios).
+func allToffoliBenchmarks() []benchmarks.Benchmark {
+	var out []benchmarks.Benchmark
+	for _, b := range benchmarks.All() {
+		if b.HasToffolis {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the Table 1 benchmark inventory, the Toffoli-only experiments
+// (Figs. 1, 6, 7, 8), the benchmark sweep across four topologies
+// (Figs. 9, 10, 11), and the error-rate sensitivity study (Fig. 12).
+//
+// Real-hardware runs on IBM Johannesburg are substituted with the paper's
+// own analytic noise model plus binomial shot sampling (see DESIGN.md).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/decompose"
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+// ToffoliConfigs are the four compiler configurations Figures 6 and 7
+// compare, in the paper's order.
+var ToffoliConfigs = []struct {
+	Label    string
+	Pipeline compiler.Pipeline
+	Mode     decompose.ToffoliMode
+}{
+	{"Qiskit (baseline)", compiler.Conventional, decompose.Six},
+	{"Qiskit (8-CNOT Toffoli)", compiler.Conventional, decompose.Eight},
+	{"Trios (6-CNOT Toffoli)", compiler.TriosPipeline, decompose.Six},
+	{"Trios (8-CNOT Toffoli)", compiler.TriosPipeline, decompose.Eight},
+}
+
+// TripletResult is one row of the Toffoli experiment: a random placement of
+// the three Toffoli operands and, per configuration, the compiled CNOT count
+// and estimated/sampled success probability of measuring |111> from |110>.
+type TripletResult struct {
+	Triplet  [3]int
+	Distance int // min over destinations of summed shortest-path distance
+	CNOTs    [4]int
+	Success  [4]float64
+	Sampled  [4]float64 // success frequency over the shot budget
+}
+
+// RandomTriplets draws n distinct qubit triples on a device, seeded for
+// reproducibility. Triples are redrawn until all three qubits differ.
+func RandomTriplets(g *topo.Graph, n int, seed int64) [][3]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][3]int, 0, n)
+	for len(out) < n {
+		p := rng.Perm(g.NumQubits())
+		out = append(out, [3]int{p[0], p[1], p[2]})
+	}
+	return out
+}
+
+// TripletDistance is the paper's x-axis label for Figures 6-8: the minimum,
+// over the three qubits as meeting point, of the summed shortest-path
+// distances from the other two.
+func TripletDistance(g *topo.Graph, t [3]int) int {
+	best := int(^uint(0) >> 1)
+	for i := 0; i < 3; i++ {
+		d := g.Distances(t[i])
+		sum := 0
+		for j := 0; j < 3; j++ {
+			sum += d[t[j]]
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// toffoliCircuit prepares |110>, applies CCX, and measures all three qubits;
+// success means reading |111> (§5.1).
+func toffoliCircuit() *circuit.Circuit {
+	c := circuit.New(3)
+	c.X(0)
+	c.X(1)
+	c.CCX(0, 1, 2)
+	c.Measure(0)
+	c.Measure(1)
+	c.Measure(2)
+	return c
+}
+
+// ToffoliExperiment compiles a single Toffoli for every triplet under all
+// four configurations and estimates success under the noise model,
+// emulating the paper's 8192-shot runs on IBM Johannesburg.
+func ToffoliExperiment(g *topo.Graph, triplets [][3]int, model noise.Params, shots int, seed int64) ([]TripletResult, error) {
+	results := make([]TripletResult, 0, len(triplets))
+	rng := rand.New(rand.NewSource(seed))
+	src := toffoliCircuit()
+	for _, trip := range triplets {
+		r := TripletResult{Triplet: trip, Distance: TripletDistance(g, trip)}
+		for ci, cfg := range ToffoliConfigs {
+			res, err := compiler.Compile(src, g, compiler.Options{
+				Pipeline:      cfg.Pipeline,
+				Mode:          cfg.Mode,
+				Router:        compiler.RouteStochastic,
+				InitialLayout: trip[:],
+				Seed:          seed + int64(ci),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: triplet %v config %q: %w", trip, cfg.Label, err)
+			}
+			if err := res.Verify(); err != nil {
+				return nil, err
+			}
+			r.CNOTs[ci] = res.TwoQubitGates()
+			succ, prob, err := noise.SampleSuccesses(res.Physical, model, shots, rng)
+			if err != nil {
+				return nil, err
+			}
+			r.Success[ci] = prob
+			r.Sampled[ci] = float64(succ) / float64(shots)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// GeoMeanColumn extracts column ci of the per-config metric and returns its
+// geometric mean.
+func GeoMeanColumn(rs []TripletResult, metric func(TripletResult) [4]float64, ci int) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = metric(r)[ci]
+	}
+	return GeoMean(vals)
+}
+
+// CNOTsAsFloats adapts the CNOT counts for GeoMeanColumn.
+func CNOTsAsFloats(r TripletResult) [4]float64 {
+	return [4]float64{float64(r.CNOTs[0]), float64(r.CNOTs[1]), float64(r.CNOTs[2]), float64(r.CNOTs[3])}
+}
+
+// SuccessAsFloats adapts the analytic success rates for GeoMeanColumn.
+func SuccessAsFloats(r TripletResult) [4]float64 { return r.Success }

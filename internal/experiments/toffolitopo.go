@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"trios/internal/noise"
+	"trios/internal/topo"
+)
+
+// ToffoliTopoResult aggregates the single-Toffoli experiment per topology:
+// geometric-mean compiled CNOTs for each of the four compiler
+// configurations over a fixed random triplet set.
+type ToffoliTopoResult struct {
+	Topology string
+	GeoCNOTs [4]float64
+	// Reduction is Trios(8) vs baseline, percent.
+	Reduction float64
+}
+
+// ToffoliAcrossTopologies extends the paper's Johannesburg-only Figures 6-7
+// to all four architecture types (the sensitivity the paper applies to its
+// benchmark suite): the same seeded triplet placements are compiled on each
+// topology under all four configurations.
+func ToffoliAcrossTopologies(nTriplets int, model noise.Params, seed int64) ([]ToffoliTopoResult, error) {
+	var out []ToffoliTopoResult
+	for _, g := range topo.PaperTopologies() {
+		trips := RandomTriplets(g, nTriplets, seed)
+		rs, err := ToffoliExperiment(g, trips, model, 1, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.Name(), err)
+		}
+		var r ToffoliTopoResult
+		r.Topology = g.Name()
+		for ci := range ToffoliConfigs {
+			r.GeoCNOTs[ci] = GeoMeanColumn(rs, CNOTsAsFloats, ci)
+		}
+		if r.GeoCNOTs[0] > 0 {
+			r.Reduction = 100 * (1 - r.GeoCNOTs[3]/r.GeoCNOTs[0])
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteToffoliTopos prints the per-topology Toffoli comparison.
+func WriteToffoliTopos(w io.Writer, results []ToffoliTopoResult) {
+	fmt.Fprintln(w, "Toffoli experiment across architectures: geomean compiled two-qubit gates")
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s %10s\n",
+		"topology", "qiskit-6", "qiskit-8", "trios-6", "trios-8", "reduction")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-22s %10.1f %10.1f %10.1f %10.1f %9.1f%%\n",
+			r.Topology, r.GeoCNOTs[0], r.GeoCNOTs[1], r.GeoCNOTs[2], r.GeoCNOTs[3], r.Reduction)
+	}
+}

@@ -1,0 +1,73 @@
+package layout
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/topo"
+)
+
+// TestGreedyWeightedAvoidsBadRegion places a heavily-interacting pair on a
+// line whose left half has terrible couplers; the noise-aware mapper must
+// put the pair on the clean right half.
+func TestGreedyWeightedAvoidsBadRegion(t *testing.T) {
+	g := topo.Line(8)
+	weight := func(a, b int) float64 {
+		if a < 4 && b < 4 {
+			return 10 // noisy left half
+		}
+		return 0.1
+	}
+	c := circuit.New(2)
+	for i := 0; i < 5; i++ {
+		c.CX(0, 1)
+	}
+	l, err := GreedyWeighted(c, g, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := l.Phys(0), l.Phys(1)
+	if !g.Connected(p0, p1) {
+		t.Fatalf("pair should still be adjacent: (%d,%d)", p0, p1)
+	}
+	if weight(p0, p1) > 1 {
+		t.Errorf("pair placed on a noisy coupler (%d,%d)", p0, p1)
+	}
+}
+
+// TestGreedyWeightedNilMatchesGreedy ensures the weighted path with nil
+// weights is exactly the unweighted mapper.
+func TestGreedyWeightedNilMatchesGreedy(t *testing.T) {
+	g := topo.Johannesburg()
+	c := circuit.New(6)
+	c.CCX(0, 1, 2).CX(2, 3).CCX(3, 4, 5)
+	a, err := Greedy(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyWeighted(c, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		if a.Phys(v) != b.Phys(v) {
+			t.Fatal("nil-weight GreedyWeighted differs from Greedy")
+		}
+	}
+}
+
+func TestDistanceMatrixUnweightedMatchesBFS(t *testing.T) {
+	g := topo.Grid5x4()
+	d := distanceMatrix(g, nil)
+	hops := g.AllPairsDistances()
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if d[i][j] != float64(hops[i][j]) {
+				t.Fatalf("d[%d][%d] = %v, hops %d", i, j, d[i][j], hops[i][j])
+			}
+		}
+	}
+}

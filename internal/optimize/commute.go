@@ -1,0 +1,151 @@
+package optimize
+
+import "trios/internal/circuit"
+
+// CancelCommuting extends Cancel with commutation awareness (§2.4's
+// "commutativity-aware gate cancellation"): a gate may cancel with an equal
+// inverse even when other gates sit between them, as long as every
+// intervening gate commutes with it. The rules used are exact and
+// conservative:
+//
+//   - gates on disjoint qubit sets commute;
+//   - Z-diagonal gates (z, s, sdg, t, tdg, rz, u1, cz, cp, ccz) all commute
+//     with one another on any overlap;
+//   - a CX control commutes with Z-diagonal gates on the control qubit and
+//     with other CX sharing only the control;
+//   - a CX target commutes with X-axis gates (x, rx, sx, sxdg) on the target
+//     and with other CX sharing only the target.
+func CancelCommuting(c *circuit.Circuit) *circuit.Circuit {
+	gates := make([]circuit.Gate, len(c.Gates))
+	copy(gates, c.Gates)
+	alive := make([]bool, len(gates))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(gates); i++ {
+			if !alive[i] {
+				continue
+			}
+			g := gates[i]
+			if g.IsPseudo() {
+				continue
+			}
+			// Walk backward looking for a cancellation partner, crossing
+			// only gates that commute with g.
+			for j := i - 1; j >= 0; j-- {
+				if !alive[j] {
+					continue
+				}
+				p := gates[j]
+				if p.IsPseudo() {
+					break // barriers and measures block
+				}
+				if sameQubitFootprint(p, g) && cancels(p, g) {
+					alive[i] = false
+					alive[j] = false
+					changed = true
+					break
+				}
+				if !commutes(p, g) {
+					break
+				}
+			}
+		}
+	}
+
+	out := circuit.New(c.NumQubits)
+	for i, g := range gates {
+		if alive[i] {
+			out.Append(g)
+		}
+	}
+	// Let the adjacency-based pass clean up rotations and newly adjacent
+	// pairs exposed by the removals.
+	return Cancel(out)
+}
+
+// zDiagonal gates are diagonal in the computational basis.
+func zDiagonal(n circuit.Name) bool {
+	switch n {
+	case circuit.I, circuit.Z, circuit.S, circuit.Sdg, circuit.T, circuit.Tdg,
+		circuit.RZ, circuit.U1, circuit.CZ, circuit.CP, circuit.CCZ:
+		return true
+	}
+	return false
+}
+
+// xAxis gates are diagonal in the X basis.
+func xAxis(n circuit.Name) bool {
+	switch n {
+	case circuit.I, circuit.X, circuit.RX, circuit.SX, circuit.SXdg:
+		return true
+	}
+	return false
+}
+
+// commutes reports whether two gates provably commute under the rule set.
+func commutes(a, b circuit.Gate) bool {
+	shared := sharedQubits(a, b)
+	if len(shared) == 0 {
+		return true
+	}
+	if zDiagonal(a.Name) && zDiagonal(b.Name) {
+		return true
+	}
+	// Both gates must act along the same (non-trivial) axis on every shared
+	// qubit: two Z-diagonal actions commute, as do two X-diagonal actions;
+	// mixed axes (e.g. a CX control against an X on the same wire) do not.
+	for _, q := range shared {
+		aa, ab := axisAt(a, q), axisAt(b, q)
+		if aa == axisNone || aa != ab {
+			return false
+		}
+	}
+	return true
+}
+
+type axis int
+
+const (
+	axisNone axis = iota
+	axisZ
+	axisX
+)
+
+// axisAt classifies gate g's action on qubit q.
+func axisAt(g circuit.Gate, q int) axis {
+	if zDiagonal(g.Name) {
+		return axisZ
+	}
+	switch g.Name {
+	case circuit.CX:
+		if g.Qubits[0] == q {
+			return axisZ
+		}
+		return axisX
+	case circuit.CCX, circuit.MCX:
+		if g.Target() == q {
+			return axisX
+		}
+		return axisZ
+	}
+	if len(g.Qubits) == 1 && xAxis(g.Name) {
+		return axisX
+	}
+	return axisNone
+}
+
+// sharedQubits returns qubits present in both gates.
+func sharedQubits(a, b circuit.Gate) []int {
+	var out []int
+	for _, q := range a.Qubits {
+		if touches(b, q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package optimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestCommutingCXCancellation(t *testing.T) {
+	// cx(0,1) . cx(0,2) . cx(0,1): the middle gate shares only the control,
+	// so the outer pair cancels.
+	c := circuit.New(3)
+	c.CX(0, 1).CX(0, 2).CX(0, 1)
+	out := CancelCommuting(c)
+	if len(out.Gates) != 1 || !out.Gates[0].Equal(circuit.NewGate(circuit.CX, []int{0, 2})) {
+		t.Errorf("commuting cancellation failed: %v", out.Gates)
+	}
+}
+
+func TestCommutingThroughZOnControl(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1).T(0).RZ(0.5, 0).CX(0, 1)
+	out := CancelCommuting(c)
+	if out.CountName(circuit.CX) != 0 {
+		t.Errorf("cx pair should cancel through Z-diagonal gates: %v", out.Gates)
+	}
+	if out.CountName(circuit.T) != 1 || out.CountName(circuit.RZ) != 1 {
+		t.Errorf("intervening gates must survive: %v", out.Gates)
+	}
+}
+
+func TestCommutingThroughXOnTarget(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1).X(1).CX(0, 1)
+	out := CancelCommuting(c)
+	if out.CountName(circuit.CX) != 0 {
+		t.Errorf("cx pair should cancel through X on target: %v", out.Gates)
+	}
+}
+
+func TestNoCancellationThroughBlockingGate(t *testing.T) {
+	// H on the control does not commute with CX.
+	c := circuit.New(2)
+	c.CX(0, 1).H(0).CX(0, 1)
+	out := CancelCommuting(c)
+	if out.CountName(circuit.CX) != 2 {
+		t.Errorf("cancelled across non-commuting H: %v", out.Gates)
+	}
+	// X on the control anticommutes with the CX control (mixed axes).
+	c2 := circuit.New(2)
+	c2.CX(0, 1).X(0).CX(0, 1)
+	out2 := CancelCommuting(c2)
+	if out2.CountName(circuit.CX) != 2 {
+		t.Errorf("cancelled across X on control: %v", out2.Gates)
+	}
+	// Z on the target does not commute with the CX target.
+	c3 := circuit.New(2)
+	c3.CX(0, 1).Z(1).CX(0, 1)
+	out3 := CancelCommuting(c3)
+	if out3.CountName(circuit.CX) != 2 {
+		t.Errorf("cancelled across Z on target: %v", out3.Gates)
+	}
+}
+
+func TestCommutingToffoliCancellation(t *testing.T) {
+	// A CZ on the two controls is Z-diagonal and commutes with the Toffoli's
+	// control action, so the equal Toffolis around it cancel.
+	c := circuit.New(3)
+	c.CCX(0, 1, 2).CZ(0, 1).CCX(0, 1, 2)
+	out := CancelCommuting(c)
+	if out.CountName(circuit.CCX) != 0 {
+		t.Errorf("ccx pair should cancel through Z-diagonal cz: %v", out.Gates)
+	}
+	if out.CountName(circuit.CZ) != 1 {
+		t.Errorf("cz must survive: %v", out.Gates)
+	}
+}
+
+func TestCXOnToffoliControlBlocks(t *testing.T) {
+	// CX writes to the Toffoli's control wire, so it does NOT commute —
+	// these must not cancel (verified: the two orders differ on |110>).
+	c := circuit.New(3)
+	c.CCX(0, 1, 2).CX(0, 1).CCX(0, 1, 2)
+	out := CancelCommuting(c)
+	if out.CountName(circuit.CCX) != 2 {
+		t.Errorf("ccx wrongly cancelled across cx on its control wire: %v", out.Gates)
+	}
+}
+
+func TestRCCXPairsCancelAdjacent(t *testing.T) {
+	// A Margolus compute/uncompute pair on the same wires is an exact
+	// identity, so the plain cancellation pass removes it.
+	c := circuit.New(3)
+	c.RCCX(0, 1, 2).RCCXdg(0, 1, 2)
+	if out := Cancel(c); len(out.Gates) != 0 {
+		t.Errorf("rccx pair not cancelled: %v", out.Gates)
+	}
+	// Commutation-aware: the pair also cancels across a Z-diagonal gate on
+	// a wire the Margolus treats as a control... conservative rules treat
+	// RCCX as opaque, so an intervening gate must block it.
+	c2 := circuit.New(3)
+	c2.RCCX(0, 1, 2).T(0).RCCXdg(0, 1, 2)
+	if out := CancelCommuting(c2); out.CountName(circuit.RCCX) != 1 {
+		t.Errorf("rccx wrongly cancelled across an intervening gate: %v", out.Gates)
+	}
+}
+
+func TestMeasureBlocksCommutingCancellation(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1).Measure(0).CX(0, 1)
+	out := CancelCommuting(c)
+	if out.CountName(circuit.CX) != 2 {
+		t.Errorf("cancelled across measure: %v", out.Gates)
+	}
+}
+
+func TestCancelCommutingPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCommuteCircuit(rng, 4, 35)
+		out := CancelCommuting(c)
+		if len(out.Gates) > len(c.Gates) {
+			t.Fatal("optimizer grew circuit")
+		}
+		ok, err := sim.Equivalent(c, out, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("commuting cancellation changed semantics (trial %d):\n%v\nvs\n%v", trial, c, out)
+		}
+	}
+}
+
+func TestCancelCommutingBeatsPlainCancel(t *testing.T) {
+	// A circuit engineered so only commutation-aware cancellation fires.
+	c := circuit.New(3)
+	c.CX(0, 1).T(0).CX(0, 2).CX(0, 1).Tdg(0).CX(0, 2)
+	plain := Cancel(c)
+	smart := CancelCommuting(c)
+	if len(smart.Gates) >= len(plain.Gates) {
+		t.Errorf("commutation-aware should win: plain %d vs smart %d gates",
+			len(plain.Gates), len(smart.Gates))
+	}
+	if len(smart.Gates) != 0 {
+		t.Errorf("everything should cancel: %v", smart.Gates)
+	}
+}
+
+func randomCommuteCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		case 2:
+			c.X(rng.Intn(n))
+		case 3:
+			c.RZ(rng.Float64(), rng.Intn(n))
+		case 4:
+			c.SX(rng.Intn(n))
+		case 5, 6:
+			p := rng.Perm(n)
+			c.CX(p[0], p[1])
+		default:
+			p := rng.Perm(n)
+			c.CCX(p[0], p[1], p[2])
+		}
+	}
+	return c
+}

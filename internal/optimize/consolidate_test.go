@@ -1,0 +1,165 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestConsolidateRunToSingleGate(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).T(0).S(0).H(0).RZ(0.3, 0)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 1 {
+		t.Fatalf("run not consolidated: %v", out.Gates)
+	}
+	ok, err := sim.Equivalent(c, out, 3, 1)
+	if err != nil || !ok {
+		t.Fatalf("consolidation changed semantics: %v %v", ok, err)
+	}
+}
+
+func TestConsolidateIdentityVanishes(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).H(0)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 0 {
+		t.Errorf("H H should vanish: %v", out.Gates)
+	}
+	c2 := circuit.New(1)
+	c2.T(0).T(0).T(0).T(0).T(0).T(0).T(0).T(0) // T^8 = I
+	out2, _ := Consolidate1Q(c2)
+	if len(out2.Gates) != 0 {
+		t.Errorf("T^8 should vanish: %v", out2.Gates)
+	}
+}
+
+func TestConsolidateDiagonalRunBecomesU1(t *testing.T) {
+	c := circuit.New(1)
+	c.T(0).S(0).RZ(0.1, 0)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 1 || out.Gates[0].Name != circuit.U1 {
+		t.Fatalf("diagonal run should become u1: %v", out.Gates)
+	}
+	want := math.Pi/4 + math.Pi/2 + 0.1
+	if math.Abs(out.Gates[0].Params[0]-want) > 1e-9 {
+		t.Errorf("u1 angle = %v, want %v", out.Gates[0].Params[0], want)
+	}
+}
+
+func TestConsolidateHadamardBecomesU2(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 1 || out.Gates[0].Name != circuit.U2 {
+		t.Fatalf("H should resynthesize as u2: %v", out.Gates)
+	}
+	ok, _ := sim.Equivalent(c, out, 2, 5)
+	if !ok {
+		t.Error("u2 resynthesis wrong")
+	}
+}
+
+func TestConsolidateFlushesAtMultiQubitGates(t *testing.T) {
+	c := circuit.New(2)
+	c.T(0).T(0).CX(0, 1).T(0).T(0)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two u1 gates (one per run) around the cx.
+	if out.CountName(circuit.U1) != 2 || out.CountName(circuit.CX) != 1 {
+		t.Fatalf("runs not split at cx: %v", out.Gates)
+	}
+	if out.Gates[0].Name != circuit.U1 || out.Gates[1].Name != circuit.CX {
+		t.Errorf("order wrong: %v", out.Gates)
+	}
+}
+
+func TestConsolidateFlushesAtMeasure(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).Measure(0)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 2 || out.Gates[1].Name != circuit.Measure {
+		t.Errorf("measure handling wrong: %v", out.Gates)
+	}
+}
+
+func TestConsolidateRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		c := circuit.New(3)
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				c.H(rng.Intn(3))
+			case 1:
+				c.T(rng.Intn(3))
+			case 2:
+				c.SX(rng.Intn(3))
+			case 3:
+				c.U3(rng.Float64()*3, rng.Float64()*6, rng.Float64()*6, rng.Intn(3))
+			case 4:
+				c.RY(rng.Float64()*3, rng.Intn(3))
+			default:
+				p := rng.Perm(3)
+				c.CX(p[0], p[1])
+			}
+		}
+		out, err := Consolidate1Q(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := sim.Equivalent(c, out, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("consolidation changed semantics:\n%v\nvs\n%v", c, out)
+		}
+		// Every surviving single-qubit gate must be a u-gate, and no two
+		// adjacent on the same wire.
+		for _, g := range out.Gates {
+			if len(g.Qubits) == 1 && !g.IsPseudo() {
+				switch g.Name {
+				case circuit.U1, circuit.U2, circuit.U3:
+				default:
+					t.Fatalf("non-u 1q gate after consolidation: %v", g)
+				}
+			}
+		}
+	}
+}
+
+func TestConsolidateReducesGateCount(t *testing.T) {
+	c := circuit.New(2)
+	for i := 0; i < 10; i++ {
+		c.H(0).T(0).H(1).T(1)
+	}
+	c.CX(0, 1)
+	out, err := Consolidate1Q(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 3 { // u3(0), u3(1), cx
+		t.Errorf("gates = %d, want 3: %v", len(out.Gates), out.Gates)
+	}
+}

@@ -1,0 +1,197 @@
+// Package optimize implements the hardware-independent circuit
+// optimizations the paper lists among standard compiler passes (§2.4):
+// cancellation of adjacent inverse gate pairs and merging of adjacent
+// rotations. These run before decomposition and again on the compiled
+// circuit, and are deliberately conservative — they only fire when gates are
+// adjacent on all shared qubits, so they can never change program semantics.
+package optimize
+
+import (
+	"math"
+
+	"trios/internal/circuit"
+)
+
+// Cancel applies inverse-pair cancellation and rotation merging to a
+// fixpoint and returns the optimized circuit. Barriers block optimization
+// across them (they exist to pin structure); measures block like any gate.
+func Cancel(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	// lastOn[q] is the index in out.Gates of the most recent gate touching
+	// q, or -1.
+	lastOn := make([]int, c.NumQubits)
+	for i := range lastOn {
+		lastOn[i] = -1
+	}
+	// alive[i] marks whether out.Gates[i] is still present (cancelled gates
+	// become tombstones compacted at the end).
+	var alive []bool
+
+	rebuildLast := func(upto int, qubits []int) {
+		// After removing a gate, recompute lastOn for its qubits by
+		// scanning backward from upto.
+		for _, q := range qubits {
+			lastOn[q] = -1
+			for j := upto; j >= 0; j-- {
+				if !alive[j] {
+					continue
+				}
+				if touches(out.Gates[j], q) {
+					lastOn[q] = j
+					break
+				}
+			}
+		}
+	}
+
+	for _, g := range c.Gates {
+		if g.Name == circuit.Barrier {
+			idx := len(out.Gates)
+			out.Append(g)
+			alive = append(alive, true)
+			for _, q := range g.Qubits {
+				lastOn[q] = idx
+			}
+			continue
+		}
+		// Find the unique previous gate if this gate is adjacent to one
+		// gate on all of its qubits.
+		prev := -2 // -2 = unset, -1 = no previous on some qubit
+		uniform := true
+		for _, q := range g.Qubits {
+			l := lastOn[q]
+			if prev == -2 {
+				prev = l
+			} else if prev != l {
+				uniform = false
+				break
+			}
+		}
+		if uniform && prev >= 0 && alive[prev] {
+			p := out.Gates[prev]
+			if sameQubitFootprint(p, g) {
+				if cancels(p, g) {
+					alive[prev] = false
+					rebuildLast(prev-1, g.Qubits)
+					continue
+				}
+				if merged, ok := mergeRotations(p, g); ok {
+					alive[prev] = false
+					rebuildLast(prev-1, g.Qubits)
+					if !isNullRotation(merged) {
+						idx := len(out.Gates)
+						out.Append(merged)
+						alive = append(alive, true)
+						for _, q := range merged.Qubits {
+							lastOn[q] = idx
+						}
+					}
+					continue
+				}
+			}
+		}
+		if g.Name == circuit.I {
+			continue // identity gates are free to drop
+		}
+		if isNullRotation(g) {
+			continue
+		}
+		idx := len(out.Gates)
+		out.Append(g)
+		alive = append(alive, true)
+		for _, q := range g.Qubits {
+			lastOn[q] = idx
+		}
+	}
+
+	// Compact tombstones.
+	final := circuit.New(c.NumQubits)
+	for i, g := range out.Gates {
+		if alive[i] {
+			final.Append(g)
+		}
+	}
+	if len(final.Gates) < len(c.Gates) {
+		// Removing a pair can expose a new adjacent pair; iterate.
+		return Cancel(final)
+	}
+	return final
+}
+
+func touches(g circuit.Gate, q int) bool {
+	for _, x := range g.Qubits {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// sameQubitFootprint reports whether two gates act on the same qubit set.
+func sameQubitFootprint(a, b circuit.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for _, q := range a.Qubits {
+		if !touches(b, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// symmetric reports whether a gate is invariant under any permutation of
+// its qubits (diagonal phase-type gates and SWAP).
+func symmetric(n circuit.Name) bool {
+	switch n {
+	case circuit.CZ, circuit.CP, circuit.SWAP, circuit.CCZ:
+		return true
+	}
+	return false
+}
+
+// cancels reports whether b is the inverse of a so the pair is an identity.
+func cancels(a, b circuit.Gate) bool {
+	if a.Name == circuit.Measure || b.Name == circuit.Measure {
+		return false
+	}
+	inv := a.Inverse()
+	if inv.Equal(b) {
+		return true
+	}
+	// Symmetric gates cancel regardless of operand order; CCX cancels when
+	// the two controls are swapped but the target matches.
+	if symmetric(a.Name) && a.Name == b.Name && sameQubitFootprint(a, b) {
+		if a.Name == circuit.CP {
+			return a.Params[0] == -b.Params[0]
+		}
+		return true
+	}
+	if a.Name == circuit.CCX && b.Name == circuit.CCX &&
+		a.Qubits[2] == b.Qubits[2] && sameQubitFootprint(a, b) {
+		return true
+	}
+	return false
+}
+
+// mergeRotations combines adjacent same-axis rotations on the same qubit.
+func mergeRotations(a, b circuit.Gate) (circuit.Gate, bool) {
+	if a.Name != b.Name || len(a.Qubits) != 1 || a.Qubits[0] != b.Qubits[0] {
+		return circuit.Gate{}, false
+	}
+	switch a.Name {
+	case circuit.RX, circuit.RY, circuit.RZ, circuit.U1:
+		return circuit.NewGate(a.Name, a.Qubits, a.Params[0]+b.Params[0]), true
+	}
+	return circuit.Gate{}, false
+}
+
+// isNullRotation reports whether a parameterized gate is the identity
+// (zero angle, up to float wobble).
+func isNullRotation(g circuit.Gate) bool {
+	switch g.Name {
+	case circuit.RX, circuit.RY, circuit.RZ, circuit.U1, circuit.CP:
+		return math.Abs(g.Params[0]) < 1e-15
+	}
+	return false
+}

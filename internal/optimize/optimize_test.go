@@ -1,0 +1,188 @@
+package optimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestCancelInversePairs(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).H(0)         // cancels
+	c.CX(0, 1).CX(0, 1) // cancels
+	c.T(0).Tdg(0)       // cancels
+	c.X(1)              // stays
+	out := Cancel(c)
+	if len(out.Gates) != 1 || out.Gates[0].Name != circuit.X {
+		t.Errorf("optimized = %v", out.Gates)
+	}
+}
+
+func TestCancelChains(t *testing.T) {
+	// h t t† h: removing the inner pair exposes the outer pair.
+	c := circuit.New(1)
+	c.H(0).T(0).Tdg(0).H(0)
+	out := Cancel(c)
+	if len(out.Gates) != 0 {
+		t.Errorf("chain not fully cancelled: %v", out.Gates)
+	}
+}
+
+func TestNoCancelAcrossInterveningGate(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1).X(1).CX(0, 1) // X on the target blocks cancellation
+	out := Cancel(c)
+	if len(out.Gates) != 3 {
+		t.Errorf("incorrectly cancelled across intervening gate: %v", out.Gates)
+	}
+}
+
+func TestCancelAcrossSpectatorGate(t *testing.T) {
+	// A gate on an unrelated qubit does not block cancellation.
+	c := circuit.New(3)
+	c.CX(0, 1).H(2).CX(0, 1)
+	out := Cancel(c)
+	if len(out.Gates) != 1 || out.Gates[0].Name != circuit.H {
+		t.Errorf("spectator blocked cancellation: %v", out.Gates)
+	}
+}
+
+func TestBarrierBlocksCancellation(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).Barrier(0).H(0)
+	out := Cancel(c)
+	if out.CountName(circuit.H) != 2 {
+		t.Errorf("cancelled across barrier: %v", out.Gates)
+	}
+}
+
+func TestMeasureBlocksCancellation(t *testing.T) {
+	c := circuit.New(1)
+	c.X(0).Measure(0).X(0)
+	out := Cancel(c)
+	if out.CountName(circuit.X) != 2 {
+		t.Errorf("cancelled across measure: %v", out.Gates)
+	}
+}
+
+func TestRotationMerging(t *testing.T) {
+	c := circuit.New(1)
+	c.RZ(0.3, 0).RZ(0.4, 0)
+	out := Cancel(c)
+	if len(out.Gates) != 1 || out.Gates[0].Params[0] != 0.7 {
+		t.Errorf("rz merge: %v", out.Gates)
+	}
+	// Opposite rotations vanish entirely.
+	c2 := circuit.New(1)
+	c2.RX(0.5, 0).RX(-0.5, 0)
+	if out2 := Cancel(c2); len(out2.Gates) != 0 {
+		t.Errorf("rx(+a) rx(-a) not removed: %v", out2.Gates)
+	}
+}
+
+func TestSymmetricGateCancellation(t *testing.T) {
+	c := circuit.New(2)
+	c.CZ(0, 1).CZ(1, 0) // symmetric: cancels despite operand order
+	c.SWAP(0, 1).SWAP(1, 0)
+	out := Cancel(c)
+	if len(out.Gates) != 0 {
+		t.Errorf("symmetric pairs not cancelled: %v", out.Gates)
+	}
+}
+
+func TestCPInverseEitherOrder(t *testing.T) {
+	c := circuit.New(2)
+	c.CP(0.4, 0, 1).CP(-0.4, 1, 0)
+	if out := Cancel(c); len(out.Gates) != 0 {
+		t.Errorf("cp pair not cancelled: %v", out.Gates)
+	}
+	c2 := circuit.New(2)
+	c2.CP(0.4, 0, 1).CP(0.4, 1, 0) // same sign: must NOT cancel
+	if out := Cancel(c2); len(out.Gates) != 2 {
+		t.Errorf("cp same-sign wrongly cancelled: %v", out.Gates)
+	}
+}
+
+func TestCCXControlOrderCancellation(t *testing.T) {
+	c := circuit.New(3)
+	c.CCX(0, 1, 2).CCX(1, 0, 2) // controls swapped: same gate
+	if out := Cancel(c); len(out.Gates) != 0 {
+		t.Errorf("ccx pair not cancelled: %v", out.Gates)
+	}
+	c2 := circuit.New(3)
+	c2.CCX(0, 1, 2).CCX(0, 2, 1) // different target: must NOT cancel
+	if out := Cancel(c2); len(out.Gates) != 2 {
+		t.Errorf("different-target ccx wrongly cancelled: %v", out.Gates)
+	}
+}
+
+func TestIdentityAndNullRotationsDropped(t *testing.T) {
+	c := circuit.New(1)
+	c.I(0).RZ(0, 0).U1(0, 0).H(0)
+	out := Cancel(c)
+	if len(out.Gates) != 1 || out.Gates[0].Name != circuit.H {
+		t.Errorf("identities not dropped: %v", out.Gates)
+	}
+}
+
+func TestCancelPreservesSemanticsOnRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		c := randomCircuitWithRedundancy(rng, 4, 40)
+		out := Cancel(c)
+		if len(out.Gates) > len(c.Gates) {
+			t.Fatal("optimizer grew the circuit")
+		}
+		ok, err := sim.Equivalent(c, out, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("optimization changed semantics:\n%v\nvs\n%v", c, out)
+		}
+	}
+}
+
+func TestCancelShrinksRedundantCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	total, shrunk := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuitWithRedundancy(rng, 4, 40)
+		out := Cancel(c)
+		total += len(c.Gates)
+		shrunk += len(out.Gates)
+	}
+	if shrunk >= total {
+		t.Errorf("no shrinkage on redundant circuits: %d -> %d", total, shrunk)
+	}
+}
+
+// randomCircuitWithRedundancy injects immediate inverse pairs with high
+// probability so the optimizer has real work to do.
+func randomCircuitWithRedundancy(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		var g circuit.Gate
+		switch rng.Intn(5) {
+		case 0:
+			g = circuit.NewGate(circuit.H, []int{rng.Intn(n)})
+		case 1:
+			g = circuit.NewGate(circuit.T, []int{rng.Intn(n)})
+		case 2:
+			g = circuit.NewGate(circuit.RZ, []int{rng.Intn(n)}, rng.Float64())
+		case 3:
+			p := rng.Perm(n)
+			g = circuit.NewGate(circuit.CX, []int{p[0], p[1]})
+		default:
+			p := rng.Perm(n)
+			g = circuit.NewGate(circuit.CCX, []int{p[0], p[1], p[2]})
+		}
+		c.Append(g)
+		if rng.Float64() < 0.4 {
+			c.Append(g.Inverse())
+		}
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trios/internal/circuit"
+)
+
+// Parse reads OpenQASM 2.0 source limited to the dialect Emit produces plus
+// common variations: a single quantum register, optional classical register,
+// qelib1 gate applications with literal or pi-expression parameters,
+// measure, and barrier. Comments (//) are ignored.
+func Parse(src string) (*circuit.Circuit, error) {
+	var c *circuit.Circuit
+	regName := ""
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseStmt(stmt, &c, &regName); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return c, nil
+}
+
+func parseStmt(stmt string, c **circuit.Circuit, regName *string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"), strings.HasPrefix(stmt, "include"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		name, size, err := parseReg(strings.TrimSpace(strings.TrimPrefix(stmt, "qreg")))
+		if err != nil {
+			return err
+		}
+		if *c != nil {
+			return fmt.Errorf("multiple qreg declarations")
+		}
+		*regName = name
+		*c = circuit.New(size)
+		return nil
+	case strings.HasPrefix(stmt, "creg"):
+		_, _, err := parseReg(strings.TrimSpace(strings.TrimPrefix(stmt, "creg")))
+		return err
+	}
+	if *c == nil {
+		return fmt.Errorf("gate before qreg declaration")
+	}
+	if strings.HasPrefix(stmt, "measure") {
+		rest := strings.TrimSpace(strings.TrimPrefix(stmt, "measure"))
+		parts := strings.SplitN(rest, "->", 2)
+		q, err := parseQubitRef(strings.TrimSpace(parts[0]), *regName)
+		if err != nil {
+			return err
+		}
+		(*c).Measure(q)
+		return nil
+	}
+	if strings.HasPrefix(stmt, "barrier") {
+		rest := strings.TrimSpace(strings.TrimPrefix(stmt, "barrier"))
+		var qs []int
+		for _, ref := range strings.Split(rest, ",") {
+			q, err := parseQubitRef(strings.TrimSpace(ref), *regName)
+			if err != nil {
+				return err
+			}
+			qs = append(qs, q)
+		}
+		(*c).Append(circuit.Gate{Name: circuit.Barrier, Qubits: qs})
+		return nil
+	}
+
+	// Gate application: name[(params)] q[i](, q[j])*
+	head := stmt
+	var params []float64
+	if open := strings.IndexByte(stmt, '('); open >= 0 {
+		closeIdx := strings.IndexByte(stmt, ')')
+		if closeIdx < open {
+			return fmt.Errorf("unbalanced parentheses in %q", stmt)
+		}
+		for _, ps := range strings.Split(stmt[open+1:closeIdx], ",") {
+			v, err := parseParam(strings.TrimSpace(ps))
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+		}
+		head = stmt[:open] + " " + stmt[closeIdx+1:]
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed statement %q", stmt)
+	}
+	name, ok := circuit.ParseName(fields[0])
+	if !ok {
+		return fmt.Errorf("unknown gate %q", fields[0])
+	}
+	var qubits []int
+	for _, ref := range strings.Split(strings.Join(fields[1:], ""), ",") {
+		q, err := parseQubitRef(strings.TrimSpace(ref), *regName)
+		if err != nil {
+			return err
+		}
+		qubits = append(qubits, q)
+	}
+	if a := name.Arity(); a >= 0 && len(qubits) != a {
+		return fmt.Errorf("gate %v expects %d qubits, got %d", name, a, len(qubits))
+	}
+	if p := name.ParamCount(); len(params) != p {
+		return fmt.Errorf("gate %v expects %d params, got %d", name, p, len(params))
+	}
+	(*c).Append(circuit.NewGate(name, qubits, params...))
+	return nil
+}
+
+// parseReg parses `name[size]`.
+func parseReg(s string) (string, int, error) {
+	open := strings.IndexByte(s, '[')
+	closeIdx := strings.IndexByte(s, ']')
+	if open < 0 || closeIdx < open {
+		return "", 0, fmt.Errorf("malformed register %q", s)
+	}
+	size, err := strconv.Atoi(s[open+1 : closeIdx])
+	if err != nil || size <= 0 {
+		return "", 0, fmt.Errorf("bad register size in %q", s)
+	}
+	return strings.TrimSpace(s[:open]), size, nil
+}
+
+// parseQubitRef parses `name[i]`, checking the register name if known.
+func parseQubitRef(s, regName string) (int, error) {
+	open := strings.IndexByte(s, '[')
+	closeIdx := strings.IndexByte(s, ']')
+	if open < 0 || closeIdx < open {
+		return 0, fmt.Errorf("malformed qubit reference %q", s)
+	}
+	if name := strings.TrimSpace(s[:open]); regName != "" && name != regName && name != "c" {
+		return 0, fmt.Errorf("unknown register %q", name)
+	}
+	idx, err := strconv.Atoi(s[open+1 : closeIdx])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("bad qubit index in %q", s)
+	}
+	return idx, nil
+}
+
+// parseParam evaluates a parameter literal: a float, pi, -pi, pi/N, -pi/N,
+// or N*pi forms commonly found in QASM output.
+func parseParam(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = strings.TrimSpace(s[1:])
+	}
+	val := 0.0
+	switch {
+	case s == "pi":
+		val = pi
+	case strings.HasPrefix(s, "pi/"):
+		d, err := strconv.ParseFloat(s[3:], 64)
+		if err != nil || d == 0 {
+			return 0, fmt.Errorf("bad parameter %q", s)
+		}
+		val = pi / d
+	case strings.HasSuffix(s, "*pi"):
+		m, err := strconv.ParseFloat(s[:len(s)-3], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad parameter %q", s)
+		}
+		val = m * pi
+	default:
+		return 0, fmt.Errorf("bad parameter %q", s)
+	}
+	if neg {
+		val = -val
+	}
+	return val, nil
+}
+
+const pi = 3.141592653589793

@@ -1,0 +1,71 @@
+// Package qasm serializes circuits to OpenQASM 2.0 and parses the subset of
+// OpenQASM 2.0 the Trios toolchain emits, so compiled programs round-trip
+// through files and interoperate with other quantum toolchains.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"trios/internal/circuit"
+)
+
+// Emit renders a circuit as OpenQASM 2.0 source. Gates map to the standard
+// qelib1 mnemonics; MCX is not representable and returns an error (decompose
+// it first).
+func Emit(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	hasMeasure := c.CountName(circuit.Measure) > 0
+	if hasMeasure {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		line, err := emitGate(g)
+		if err != nil {
+			return "", fmt.Errorf("qasm: gate %d: %w", i, err)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func emitGate(g circuit.Gate) (string, error) {
+	switch g.Name {
+	case circuit.MCX:
+		return "", fmt.Errorf("mcx has no OpenQASM 2.0 form; decompose first")
+	case circuit.Measure:
+		q := g.Qubits[0]
+		return fmt.Sprintf("measure q[%d] -> c[%d];", q, q), nil
+	case circuit.Barrier:
+		parts := make([]string, len(g.Qubits))
+		for i, q := range g.Qubits {
+			parts[i] = fmt.Sprintf("q[%d]", q)
+		}
+		return "barrier " + strings.Join(parts, ", ") + ";", nil
+	}
+	var b strings.Builder
+	b.WriteString(g.Name.String())
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%.17g", p)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	for i, q := range g.Qubits {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "q[%d]", q)
+	}
+	b.WriteByte(';')
+	return b.String(), nil
+}

@@ -1,0 +1,205 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestEmitBasic(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1).Measure(0).Measure(1)
+	src, err := Emit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[2];",
+		"creg c[2];",
+		"h q[0];",
+		"cx q[0], q[1];",
+		"measure q[0] -> c[0];",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in output:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitNoCregWithoutMeasure(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0)
+	src, _ := Emit(c)
+	if strings.Contains(src, "creg") {
+		t.Error("creg emitted for measure-free circuit")
+	}
+}
+
+func TestEmitParams(t *testing.T) {
+	c := circuit.New(1)
+	c.RZ(math.Pi/4, 0).U3(0.1, 0.2, 0.3, 0)
+	src, err := Emit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "rz(") || !strings.Contains(src, "u3(") {
+		t.Errorf("params not emitted:\n%s", src)
+	}
+}
+
+func TestEmitRejectsMCX(t *testing.T) {
+	c := circuit.New(4)
+	c.MCX([]int{0, 1, 2}, 3)
+	if _, err := Emit(c); err == nil {
+		t.Error("expected error for mcx")
+	}
+}
+
+func TestEmitBarrier(t *testing.T) {
+	c := circuit.New(2)
+	c.Barrier(0, 1)
+	src, err := Emit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "barrier q[0], q[1];") {
+		t.Errorf("barrier missing:\n%s", src)
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+ccx q[0], q[1], q[2];
+rz(0.5) q[2];
+measure q[2] -> c[2];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 3 || len(c.Gates) != 5 {
+		t.Fatalf("parsed %d qubits %d gates", c.NumQubits, len(c.Gates))
+	}
+	if c.Gates[2].Name != circuit.CCX {
+		t.Errorf("gate 2 = %v", c.Gates[2])
+	}
+	if c.Gates[3].Params[0] != 0.5 {
+		t.Errorf("rz param = %v", c.Gates[3].Params)
+	}
+}
+
+func TestParsePiExpressions(t *testing.T) {
+	src := "qreg q[1];\nu1(pi/2) q[0];\nu1(-pi/4) q[0];\nu1(pi) q[0];\nu1(2*pi) q[0];\nu1(-pi) q[0];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Pi / 2, -math.Pi / 4, math.Pi, 2 * math.Pi, -math.Pi}
+	for i, w := range want {
+		if math.Abs(c.Gates[i].Params[0]-w) > 1e-12 {
+			t.Errorf("param %d = %v, want %v", i, c.Gates[i].Params[0], w)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "// header\nqreg q[1]; // register\nh q[0]; // gate\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Errorf("gates = %d", len(c.Gates))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"h q[0];",                 // gate before qreg
+		"qreg q[1];\nbogus q[0];", // unknown gate
+		"qreg q[1];\ncx q[0];",    // wrong arity
+		"qreg q[1];\nrz q[0];",    // missing param
+		"qreg q[0];",              // empty register
+		"",                        // no qreg
+		"qreg q[1];\nqreg r[1];",  // duplicate qreg
+		"qreg q[1];\nh r[0];",     // wrong register name
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 4, 20)
+		src, err := Emit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse failed: %v\nsource:\n%s", err, src)
+		}
+		ok, err := sim.Equivalent(c, back, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("round trip changed semantics:\n%s", src)
+		}
+	}
+}
+
+func TestRoundTripExactGateList(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0).T(1).Tdg(2).S(0).Sdg(1).X(2).Y(0).Z(1)
+	c.CX(0, 1).CZ(1, 2).SWAP(0, 2).CCX(0, 1, 2)
+	c.U1(0.25, 0).U2(0.5, 0.75, 1).U3(1, 2, 3, 2)
+	src, err := Emit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(back) {
+		t.Errorf("round trip changed gate list:\n%v\nvs\n%v", c, back)
+	}
+}
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		case 2:
+			c.RZ(rng.Float64()*6, rng.Intn(n))
+		case 3:
+			c.U3(rng.Float64(), rng.Float64(), rng.Float64(), rng.Intn(n))
+		case 4:
+			p := rng.Perm(n)
+			c.CX(p[0], p[1])
+		default:
+			p := rng.Perm(n)
+			c.CCX(p[0], p[1], p[2])
+		}
+	}
+	return c
+}

@@ -1,0 +1,37 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+func TestRCCXRoundTrip(t *testing.T) {
+	c := circuit.New(3)
+	c.RCCX(0, 1, 2).RCCXdg(0, 1, 2)
+	src, err := Emit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "rccx q[0], q[1], q[2];") ||
+		!strings.Contains(src, "rccxdg q[0], q[1], q[2];") {
+		t.Fatalf("rccx emission wrong:\n%s", src)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(back) {
+		t.Error("rccx round trip changed the gate list")
+	}
+	// And the pair is the identity as a unitary.
+	ok, err := sim.Equivalent(circuit.New(3), back, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("rccx/rccxdg pair should cancel")
+	}
+}

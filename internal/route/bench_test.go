@@ -1,0 +1,70 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+func benchTrioCircuit(n, gates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		p := rng.Perm(n)
+		if rng.Intn(2) == 0 {
+			c.CX(p[0], p[1])
+		} else {
+			c.CCX(p[0], p[1], p[2])
+		}
+	}
+	return c
+}
+
+func BenchmarkBaselineRouterJohannesburg(b *testing.B) {
+	g := topo.Johannesburg()
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.New(20)
+	for i := 0; i < 100; i++ {
+		p := rng.Perm(20)
+		c.CX(p[0], p[1])
+	}
+	init := layout.Identity(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Baseline{Seed: int64(i)}).Route(c, g, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriosRouterJohannesburg(b *testing.B) {
+	g := topo.Johannesburg()
+	c := benchTrioCircuit(20, 100, 2)
+	init := layout.Identity(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Trios{Seed: int64(i)}).Route(c, g, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStochasticRouterJohannesburg(b *testing.B) {
+	g := topo.Johannesburg()
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.New(20)
+	for i := 0; i < 100; i++ {
+		p := rng.Perm(20)
+		c.CX(p[0], p[1])
+	}
+	init := layout.Identity(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Stochastic{Seed: int64(i)}).Route(c, g, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package route
+
+import (
+	"fmt"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+// Lookahead is a SABRE-style router representing the "lookahead" class of
+// prior work the paper's §3 discusses (Wille et al., Baker et al.): when the
+// front layer is blocked it picks the SWAP minimizing a weighted sum of the
+// front layer's distances and an extended window of upcoming multi-qubit
+// gates, instead of greedily finishing one gate at a time. The paper argues
+// lookahead "treats the symptoms" of premature decomposition; keeping it in
+// the repo lets the ablation quantify exactly that: Trios still wins with a
+// lookahead baseline.
+//
+// With TrioAware set, intact CCX gates participate in scoring via their
+// meeting-point distance and are emitted once their trio is connected.
+type Lookahead struct {
+	Seed int64
+	// Window is the extended-set size (default 20 upcoming gates).
+	Window int
+	// ExtendedWeight scales the extended set's contribution (default 0.5).
+	ExtendedWeight float64
+	// TrioAware enables CCX routing for the Trios pipeline.
+	TrioAware bool
+}
+
+// Route implements Router.
+func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
+	window := lk.Window
+	if window <= 0 {
+		window = 20
+	}
+	extWeight := lk.ExtendedWeight
+	if extWeight <= 0 {
+		extWeight = 0.5
+	}
+	s, err := newState(g, initial, lk.Seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	dag := circuit.BuildDAG(c)
+	n := len(c.Gates)
+	done := make([]bool, n)
+	remaining := make([]int, n)
+	for i := range dag.Preds {
+		remaining[i] = len(dag.Preds[i])
+	}
+	completed := 0
+	dist := g.AllPairsDistances()
+
+	markDone := func(i int) {
+		done[i] = true
+		completed++
+		for _, succ := range dag.Succs[i] {
+			remaining[succ]--
+		}
+	}
+
+	// gateCost is the routing distance a pending gate still has to cover:
+	// hops-to-adjacent for pairs, meeting-point distance for trios.
+	gateCost := func(gate circuit.Gate) int {
+		switch len(gate.Qubits) {
+		case 2:
+			return dist[s.l.Phys(gate.Qubits[0])][s.l.Phys(gate.Qubits[1])] - 1
+		case 3:
+			ps := [3]int{s.l.Phys(gate.Qubits[0]), s.l.Phys(gate.Qubits[1]), s.l.Phys(gate.Qubits[2])}
+			best := int(^uint(0) >> 1)
+			for i := 0; i < 3; i++ {
+				sum := 0
+				for j := 0; j < 3; j++ {
+					sum += dist[ps[i]][ps[j]]
+				}
+				if sum < best {
+					best = sum
+				}
+			}
+			return best - 2
+		}
+		return 0
+	}
+
+	executable := func(gate circuit.Gate) bool {
+		switch {
+		case gate.Name == circuit.Barrier || len(gate.Qubits) == 1:
+			return true
+		case len(gate.Qubits) == 2:
+			return g.Connected(s.l.Phys(gate.Qubits[0]), s.l.Phys(gate.Qubits[1]))
+		case trioGate(gate.Name) && lk.TrioAware:
+			target := -1
+			if gate.Name != circuit.CCX {
+				target = s.l.Phys(gate.Qubits[2])
+			}
+			return s.trioPlaced(s.l.Phys(gate.Qubits[0]), s.l.Phys(gate.Qubits[1]), s.l.Phys(gate.Qubits[2]), target)
+		}
+		return false
+	}
+
+	lastSwap := [2]int{-1, -1}
+	// stall counts swaps since the last executed gate; past the budget the
+	// router abandons scoring and routes the first front gate directly,
+	// guaranteeing progress (score plateaus can otherwise oscillate).
+	stall := 0
+	stallBudget := 2 * g.NumQubits()
+	for completed < n {
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < n; i++ {
+				if done[i] || remaining[i] > 0 {
+					continue
+				}
+				gate := c.Gates[i]
+				if len(gate.Qubits) > 2 && !trioGate(gate.Name) && gate.Name != circuit.Barrier {
+					return nil, fmt.Errorf("route: lookahead router cannot handle gate %v (gate %d)", gate.Name, i)
+				}
+				if trioGate(gate.Name) && !lk.TrioAware {
+					return nil, fmt.Errorf("route: lookahead router needs TrioAware for %v (gate %d)", gate.Name, i)
+				}
+				if executable(gate) {
+					s.emitMapped(gate)
+					markDone(i)
+					progress = true
+					lastSwap = [2]int{-1, -1}
+					stall = 0
+				}
+			}
+		}
+		if completed == n {
+			break
+		}
+
+		// Collect the blocked front layer and the extended window.
+		var front, extended []circuit.Gate
+		count := 0
+		for i := 0; i < n && count < window; i++ {
+			if done[i] {
+				continue
+			}
+			gate := c.Gates[i]
+			if len(gate.Qubits) < 2 || gate.Name == circuit.Barrier {
+				continue
+			}
+			if remaining[i] == 0 {
+				front = append(front, gate)
+			} else {
+				extended = append(extended, gate)
+			}
+			count++
+		}
+		if len(front) == 0 {
+			return nil, fmt.Errorf("route: blocked with empty front layer")
+		}
+
+		if stall >= stallBudget {
+			// Escape hatch: route the first blocked gate directly.
+			gate := front[0]
+			switch len(gate.Qubits) {
+			case 2:
+				if err := s.routePair(gate.Qubits[0], gate.Qubits[1]); err != nil {
+					return nil, err
+				}
+			case 3:
+				target := -1
+				if gate.Name != circuit.CCX {
+					target = gate.Qubits[2]
+				}
+				if err := s.routeTrioRole(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2], target); err != nil {
+					return nil, err
+				}
+			}
+			stall = 0
+			lastSwap = [2]int{-1, -1}
+			continue
+		}
+
+		// Candidate swaps: edges touching front-layer operands.
+		involved := map[int]bool{}
+		for _, gate := range front {
+			for _, q := range gate.Qubits {
+				involved[s.l.Phys(q)] = true
+			}
+		}
+		bestEdge := [2]int{-1, -1}
+		bestScore := 1e18
+		for _, e := range g.Edges() {
+			if !involved[e[0]] && !involved[e[1]] {
+				continue
+			}
+			if e == lastSwap {
+				continue // anti-oscillation
+			}
+			s.l.SwapPhys(e[0], e[1])
+			score := 0.0
+			for _, gate := range front {
+				score += float64(gateCost(gate))
+			}
+			for _, gate := range extended {
+				score += extWeight * float64(gateCost(gate))
+			}
+			s.l.SwapPhys(e[0], e[1])
+			if score < bestScore {
+				bestEdge, bestScore = e, score
+			}
+		}
+		if bestEdge[0] < 0 {
+			return nil, fmt.Errorf("route: no candidate swap for blocked layer")
+		}
+		s.out.SWAP(bestEdge[0], bestEdge[1])
+		s.l.SwapPhys(bestEdge[0], bestEdge[1])
+		s.swaps++
+		lastSwap = bestEdge
+		stall++
+	}
+	return s.result(), nil
+}

@@ -1,0 +1,104 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+func TestLookaheadAdjacentNoSwaps(t *testing.T) {
+	g := topo.Line(4)
+	c := circuit.New(2)
+	c.CX(0, 1)
+	res, err := (&Lookahead{}).Route(c, g, layout.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsAdded != 0 {
+		t.Errorf("swaps = %d", res.SwapsAdded)
+	}
+	checkRouted(t, c, g, layout.Identity(4), res)
+}
+
+func TestLookaheadEquivalenceSmallDevices(t *testing.T) {
+	graphs := []*topo.Graph{topo.Line(6), topo.Ring(6), topo.Grid(2, 3)}
+	rng := rand.New(rand.NewSource(61))
+	for _, g := range graphs {
+		for trial := 0; trial < 4; trial++ {
+			c := random2QCircuit(rng, g.NumQubits(), 15)
+			init := layout.Random(g.NumQubits(), rng)
+			res, err := (&Lookahead{Seed: int64(trial)}).Route(c, g, init)
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			checkRouted(t, c, g, init, res)
+		}
+	}
+}
+
+func TestLookaheadTrioAware(t *testing.T) {
+	g := topo.Grid(2, 4)
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 4; trial++ {
+		c := randomTrioCircuit(rng, 8, 12)
+		init := layout.Random(8, rng)
+		res, err := (&Lookahead{Seed: int64(trial), TrioAware: true}).Route(c, g, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRouted(t, c, g, init, res)
+	}
+}
+
+func TestLookaheadRejectsCCXWithoutTrioAware(t *testing.T) {
+	g := topo.Line(4)
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	if _, err := (&Lookahead{}).Route(c, g, layout.Identity(4)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLookaheadSharesSwapsAcrossGates(t *testing.T) {
+	// Two CNOTs whose operands sit together on the far side: lookahead
+	// should not route them independently back and forth.
+	g := topo.Line(8)
+	c := circuit.New(8)
+	c.CX(0, 6)
+	c.CX(1, 7)
+	res, err := (&Lookahead{}).Route(c, g, layout.Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRouted(t, c, g, layout.Identity(8), res)
+	base, err := (&Baseline{Seed: 1}).Route(c, g, layout.Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsAdded > base.SwapsAdded+2 {
+		t.Errorf("lookahead used %d swaps, baseline %d", res.SwapsAdded, base.SwapsAdded)
+	}
+}
+
+func TestLookaheadReplayInvariant(t *testing.T) {
+	g := topo.Johannesburg()
+	rng := rand.New(rand.NewSource(63))
+	c := circuit.New(20)
+	for i := 0; i < 25; i++ {
+		p := rng.Perm(20)
+		if rng.Intn(2) == 0 {
+			c.CX(p[0], p[1])
+		} else {
+			c.CCX(p[0], p[1], p[2])
+		}
+	}
+	init := layout.Random(20, rng)
+	res, err := (&Lookahead{Seed: 3, TrioAware: true}).Route(c, g, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaySwaps(t, res.Circuit, init, res.Final)
+}

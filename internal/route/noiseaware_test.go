@@ -1,0 +1,78 @@
+package route
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+// TestTrioWeightedAttachDetours exercises the noise-aware attach search at
+// the router level: the second mover must join the trio over clean edges,
+// taking a longer path when the short one is noisy.
+func TestTrioWeightedAttachDetours(t *testing.T) {
+	g := topo.Johannesburg()
+	hot := map[[2]int]bool{{5, 10}: true, {7, 12}: true, {6, 7}: true}
+	weight := func(a, b int) float64 {
+		if a > b {
+			a, b = b, a
+		}
+		if hot[[2]int{a, b}] {
+			return 5
+		}
+		return 0.01
+	}
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	v2p := make([]int, 20)
+	used := make([]bool, 20)
+	for v, p := range []int{2, 11, 15} {
+		v2p[v] = p
+		used[p] = true
+	}
+	next := 0
+	for v := 3; v < 20; v++ {
+		for used[next] {
+			next++
+		}
+		v2p[v] = next
+		used[next] = true
+	}
+	init, err := layout.FromVirtualToPhys(v2p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Trios{Weight: weight}).Route(c, g, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRouted(t, c, g, init, res)
+	for _, gate := range res.Circuit.Gates {
+		var pairs [][2]int
+		switch {
+		case gate.Name == circuit.SWAP:
+			pairs = [][2]int{{gate.Qubits[0], gate.Qubits[1]}}
+		case gate.Name == circuit.CCX:
+			// Every coupled pair of the trio must be clean since the
+			// decomposition will use those edges.
+			q := gate.Qubits
+			for i := 0; i < 3; i++ {
+				for j := i + 1; j < 3; j++ {
+					if g.Connected(q[i], q[j]) {
+						pairs = append(pairs, [2]int{q[i], q[j]})
+					}
+				}
+			}
+		}
+		for _, p := range pairs {
+			a, b := p[0], p[1]
+			if a > b {
+				a, b = b, a
+			}
+			if hot[[2]int{a, b}] {
+				t.Errorf("noise-aware trio routing used hot edge (%d,%d) in %v", a, b, gate)
+			}
+		}
+	}
+}

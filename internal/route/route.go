@@ -1,0 +1,142 @@
+// Package route inserts SWAP gates so that every multi-qubit gate of a
+// circuit acts on connected physical qubits. It provides the conventional
+// pairwise router used as the Qiskit-like baseline and the Trios router that
+// moves Toffoli trios to a common neighborhood as a unit (§4 of the paper).
+package route
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+// Result is the outcome of routing: a physical-qubit circuit whose
+// multi-qubit gates all respect the coupling graph, the final placement
+// after all inserted SWAPs, and counters.
+type Result struct {
+	Circuit    *circuit.Circuit
+	Final      *layout.Layout
+	SwapsAdded int
+}
+
+// Router produces hardware-respecting circuits from logical ones.
+type Router interface {
+	// Route rewrites c onto physical qubits of g starting from the given
+	// placement. The initial layout is not mutated.
+	Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error)
+}
+
+// state carries the shared mechanics of both routers.
+type state struct {
+	g     *topo.Graph
+	l     *layout.Layout
+	out   *circuit.Circuit
+	swaps int
+	rng   *rand.Rand
+	// weight, when non-nil, selects noise-aware Dijkstra paths whose edge
+	// weight is -log(CNOT success), per the paper's noise-aware extension.
+	weight func(a, b int) float64
+}
+
+func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, b int) float64) (*state, error) {
+	if initial.Size() != g.NumQubits() {
+		return nil, fmt.Errorf("route: layout covers %d qubits, device has %d", initial.Size(), g.NumQubits())
+	}
+	return &state{
+		g:      g,
+		l:      initial.Copy(),
+		out:    circuit.New(g.NumQubits()),
+		rng:    rand.New(rand.NewSource(seed)),
+		weight: weight,
+	}, nil
+}
+
+// path returns a routing path between physical qubits: BFS shortest path
+// with stochastic tie-breaking, or Dijkstra when a noise weight is set.
+func (s *state) path(from, to int) []int {
+	if s.weight != nil {
+		return s.g.WeightedPath(from, to, s.weight)
+	}
+	return s.g.ShortestPathTieBreak(from, to, func(cands []int) int {
+		return s.rng.Intn(len(cands))
+	})
+}
+
+// swapAlong emits SWAPs that move the data at path[0] forward to
+// path[len(path)-1-stop], updating the layout. stop=1 halts one hop short
+// (the moved qubit ends adjacent to the path's endpoint).
+func (s *state) swapAlong(path []int, stop int) {
+	for i := 0; i+stop < len(path)-1; i++ {
+		s.out.SWAP(path[i], path[i+1])
+		s.l.SwapPhys(path[i], path[i+1])
+		s.swaps++
+	}
+}
+
+// emitMapped appends gate g with its virtual qubits replaced by their
+// current physical positions.
+func (s *state) emitMapped(g circuit.Gate) {
+	s.out.Append(g.Remap(s.l.Phys))
+}
+
+// result finalizes the routing state.
+func (s *state) result() *Result {
+	return &Result{Circuit: s.out, Final: s.l, SwapsAdded: s.swaps}
+}
+
+// trioGate reports whether a gate kind routes as a three-qubit unit.
+func trioGate(n circuit.Name) bool {
+	return n == circuit.CCX || n == circuit.RCCX || n == circuit.RCCXdg
+}
+
+// Baseline is the conventional pairwise router: it handles one- and
+// two-qubit gates only, moving the first operand along a shortest path until
+// the pair is adjacent — the structure-blind strategy the paper's §3
+// motivates against. Seed drives stochastic tie-breaks between equal-length
+// shortest paths (Qiskit's default router is likewise stochastic).
+type Baseline struct {
+	Seed int64
+	// Weight enables noise-aware path selection when non-nil.
+	Weight func(a, b int) float64
+}
+
+// Route implements Router.
+func (b *Baseline) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
+	s, err := newState(g, initial, b.Seed, b.Weight)
+	if err != nil {
+		return nil, err
+	}
+	for i, gate := range c.Gates {
+		switch {
+		case gate.Name == circuit.Barrier:
+			s.emitMapped(gate)
+		case len(gate.Qubits) == 1:
+			s.emitMapped(gate)
+		case len(gate.Qubits) == 2:
+			if err := s.routePair(gate.Qubits[0], gate.Qubits[1]); err != nil {
+				return nil, fmt.Errorf("route: gate %d: %w", i, err)
+			}
+			s.emitMapped(gate)
+		default:
+			return nil, fmt.Errorf("route: baseline router cannot handle %d-qubit gate %v (gate %d); decompose first", len(gate.Qubits), gate.Name, i)
+		}
+	}
+	return s.result(), nil
+}
+
+// routePair inserts SWAPs until virtual qubits va and vb are adjacent.
+func (s *state) routePair(va, vb int) error {
+	pa, pb := s.l.Phys(va), s.l.Phys(vb)
+	if s.g.Connected(pa, pb) {
+		return nil
+	}
+	p := s.path(pa, pb)
+	if p == nil {
+		return fmt.Errorf("no path between physical qubits %d and %d", pa, pb)
+	}
+	s.swapAlong(p, 1)
+	return nil
+}

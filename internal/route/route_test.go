@@ -1,0 +1,180 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/sim"
+	"trios/internal/topo"
+)
+
+// checkRouted verifies the routing contract: all 2q gates adjacent, CCX
+// trios connected, and semantic equivalence to the source under the
+// initial/final placements.
+func checkRouted(t *testing.T, src *circuit.Circuit, g *topo.Graph, init *layout.Layout, res *Result) {
+	t.Helper()
+	for i, gate := range res.Circuit.Gates {
+		switch {
+		case gate.IsTwoQubit():
+			if !g.Connected(gate.Qubits[0], gate.Qubits[1]) {
+				t.Fatalf("gate %d %v not on an edge", i, gate)
+			}
+		case gate.Name == circuit.CCX:
+			if _, ok := g.LinearTrio(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2]); !ok {
+				t.Fatalf("gate %d %v trio not connected", i, gate)
+			}
+		}
+	}
+	if g.NumQubits() > 12 {
+		return // statevector check too large; structural checks only
+	}
+	initV2P := init.VirtualToPhys()[:src.NumQubits]
+	finalV2P := res.Final.VirtualToPhys()[:src.NumQubits]
+	ok, err := sim.CompiledEquivalent(src, res.Circuit, g.NumQubits(), initV2P, finalV2P, 3, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("routed circuit not equivalent to source")
+	}
+}
+
+func TestBaselineAdjacentGateNoSwaps(t *testing.T) {
+	g := topo.Line(5)
+	c := circuit.New(2)
+	c.CX(0, 1)
+	r := &Baseline{}
+	res, err := r.Route(c, g, layout.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsAdded != 0 {
+		t.Errorf("added %d swaps for adjacent pair", res.SwapsAdded)
+	}
+	checkRouted(t, c, g, layout.Identity(5), res)
+}
+
+func TestBaselineDistantPair(t *testing.T) {
+	g := topo.Line(6)
+	c := circuit.New(6)
+	c.CX(0, 5)
+	r := &Baseline{}
+	init := layout.Identity(6)
+	res, err := r.Route(c, g, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsAdded != 4 { // distance 5 -> 4 swaps to become adjacent
+		t.Errorf("swaps = %d, want 4", res.SwapsAdded)
+	}
+	checkRouted(t, c, g, init, res)
+}
+
+func TestBaselineRejectsToffoli(t *testing.T) {
+	g := topo.Line(5)
+	c := circuit.New(3)
+	c.CCX(0, 1, 2)
+	if _, err := (&Baseline{}).Route(c, g, layout.Identity(5)); err == nil {
+		t.Error("baseline should reject 3-qubit gates")
+	}
+}
+
+func TestBaselineLayoutSizeMismatch(t *testing.T) {
+	g := topo.Line(5)
+	c := circuit.New(2)
+	c.CX(0, 1)
+	if _, err := (&Baseline{}).Route(c, g, layout.Identity(4)); err == nil {
+		t.Error("expected layout size error")
+	}
+}
+
+func TestBaselineRandomCircuitsEquivalent(t *testing.T) {
+	graphs := []*topo.Graph{topo.Line(7), topo.Ring(7), topo.Grid(2, 4)}
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range graphs {
+		for trial := 0; trial < 4; trial++ {
+			c := random2QCircuit(rng, g.NumQubits(), 20)
+			init := layout.Random(g.NumQubits(), rng)
+			res, err := (&Baseline{Seed: int64(trial)}).Route(c, g, init)
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			checkRouted(t, c, g, init, res)
+		}
+	}
+}
+
+func TestBaselineStochasticSeedsDiffer(t *testing.T) {
+	g := topo.Grid5x4()
+	c := circuit.New(20)
+	// Corner-to-corner CNOTs leave many shortest paths to choose among.
+	c.CX(0, 19).CX(19, 0).CX(0, 19)
+	a, err := (&Baseline{Seed: 1}).Route(c, g, layout.Identity(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Baseline{Seed: 2}).Route(c, g, layout.Identity(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Circuit.Equal(b.Circuit) {
+		t.Log("different seeds produced identical routes (possible but unlikely)")
+	}
+	// Same seed must reproduce exactly.
+	a2, _ := (&Baseline{Seed: 1}).Route(c, g, layout.Identity(20))
+	if !a.Circuit.Equal(a2.Circuit) {
+		t.Error("same seed produced different routes")
+	}
+}
+
+func TestBaselineNoiseAwareAvoidsBadEdge(t *testing.T) {
+	// Square: 0-1, 1-3, 0-2, 2-3. Edge (0,1) is very noisy.
+	g := topo.NewGraph("sq", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	weight := func(a, b int) float64 {
+		if (a == 0 && b == 1) || (a == 1 && b == 0) {
+			return 100
+		}
+		return 1
+	}
+	c := circuit.New(4)
+	c.CX(0, 3)
+	res, err := (&Baseline{Weight: weight}).Route(c, g, layout.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gate := range res.Circuit.Gates {
+		if gate.Name == circuit.SWAP {
+			a, b := gate.Qubits[0], gate.Qubits[1]
+			if (a == 0 && b == 1) || (a == 1 && b == 0) {
+				t.Error("noise-aware routing used the noisy edge")
+			}
+		}
+	}
+	checkRouted(t, c, g, layout.Identity(4), res)
+}
+
+func random2QCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		default:
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}

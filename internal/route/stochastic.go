@@ -1,0 +1,218 @@
+package route
+
+import (
+	"fmt"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+// Stochastic reproduces the flavor of Qiskit 0.14's StochasticSwap router,
+// the baseline the paper measures against (§5.2: "a stochastic routing
+// policy is chosen"): the circuit is processed in dependency layers, and
+// when a layer is blocked the router samples random SWAP sequences (biased
+// toward reducing the layer's total distance) over several trials, keeping
+// the shortest sequence found. It is deliberately weaker than the
+// shortest-path Baseline router — that gap is part of what the paper's
+// evaluation reflects.
+//
+// With TrioAware set, intact CCX gates are routed as trios using the same
+// deterministic meeting-point strategy as the Trios router; the stochastic
+// search applies only to two-qubit gates, mirroring how the paper grafts
+// trio routing onto an existing routing pass.
+type Stochastic struct {
+	Seed int64
+	// Trials is the number of random swap-sequence attempts per blocked
+	// layer (default 4, low like the era-appropriate Qiskit setting).
+	Trials int
+	// TrioAware enables CCX routing (for the Trios pipeline).
+	TrioAware bool
+}
+
+// maxSeqLen bounds one trial's swap sequence; 2*diameter*pairs is always
+// enough to bring a layer together, so hitting the bound only wastes a trial.
+func maxSeqLen(g *topo.Graph, pending int) int {
+	return 4 * g.NumQubits() * (pending + 1)
+}
+
+// Route implements Router.
+func (s *Stochastic) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
+	trials := s.Trials
+	if trials <= 0 {
+		trials = 4
+	}
+	st, err := newState(g, initial, s.Seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	dag := circuit.BuildDAG(c)
+	n := len(c.Gates)
+	done := make([]bool, n)
+	remainingPreds := make([]int, n)
+	for i := range dag.Preds {
+		remainingPreds[i] = len(dag.Preds[i])
+	}
+	completed := 0
+
+	markDone := func(i int) {
+		done[i] = true
+		completed++
+		for _, succ := range dag.Succs[i] {
+			remainingPreds[succ]--
+		}
+	}
+
+	for completed < n {
+		// Execute everything executable in the current front.
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < n; i++ {
+				if done[i] || remainingPreds[i] > 0 {
+					continue
+				}
+				gate := c.Gates[i]
+				switch {
+				case gate.Name == circuit.Barrier || len(gate.Qubits) == 1:
+					st.emitMapped(gate)
+					markDone(i)
+					progress = true
+				case len(gate.Qubits) == 2:
+					pa, pb := st.l.Phys(gate.Qubits[0]), st.l.Phys(gate.Qubits[1])
+					if g.Connected(pa, pb) {
+						st.emitMapped(gate)
+						markDone(i)
+						progress = true
+					}
+				case trioGate(gate.Name) && s.TrioAware:
+					// Trios grafts deterministic trio routing into the
+					// stochastic pass: route the trio directly, then emit.
+					target := -1
+					if gate.Name != circuit.CCX {
+						target = gate.Qubits[2]
+					}
+					if err := st.routeTrioRole(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2], target); err != nil {
+						return nil, fmt.Errorf("route: gate %d: %w", i, err)
+					}
+					st.emitMapped(gate)
+					markDone(i)
+					progress = true
+				case trioGate(gate.Name):
+					return nil, fmt.Errorf("route: stochastic router needs TrioAware for %v (gate %d); decompose first", gate.Name, i)
+				default:
+					return nil, fmt.Errorf("route: stochastic router cannot handle gate %v (gate %d)", gate.Name, i)
+				}
+			}
+		}
+		if completed == n {
+			break
+		}
+
+		// The front is blocked: collect its pending two-qubit pairs.
+		var pending [][2]int // virtual qubit pairs
+		for i := 0; i < n; i++ {
+			if done[i] || remainingPreds[i] > 0 {
+				continue
+			}
+			gate := c.Gates[i]
+			if len(gate.Qubits) == 2 {
+				pending = append(pending, [2]int{gate.Qubits[0], gate.Qubits[1]})
+			}
+		}
+		if len(pending) == 0 {
+			return nil, fmt.Errorf("route: blocked with no pending two-qubit gates")
+		}
+		seq := s.searchSwaps(st, g, pending, trials)
+		if seq == nil {
+			return nil, fmt.Errorf("route: stochastic search failed for layer with %d pending pairs", len(pending))
+		}
+		for _, e := range seq {
+			st.out.SWAP(e[0], e[1])
+			st.l.SwapPhys(e[0], e[1])
+			st.swaps++
+		}
+	}
+	return st.result(), nil
+}
+
+// searchSwaps runs several randomized trials to find a swap sequence making
+// at least one pending pair adjacent (Qiskit's stochastic swap likewise
+// settles for partial progress per round). Returns the shortest sequence.
+func (s *Stochastic) searchSwaps(st *state, g *topo.Graph, pending [][2]int, trials int) [][2]int {
+	var best [][2]int
+	limit := maxSeqLen(g, len(pending))
+	for trial := 0; trial < trials; trial++ {
+		seq := s.oneTrial(st, g, pending, limit)
+		if seq != nil && (best == nil || len(seq) < len(best)) {
+			best = seq
+		}
+	}
+	return best
+}
+
+// oneTrial simulates random swaps on a scratch layout until some pending
+// pair becomes adjacent. Swaps are drawn from edges touching pending qubits;
+// with high probability a distance-reducing edge is chosen, otherwise any
+// such edge — the randomness that makes the era-appropriate baseline wander.
+func (s *Stochastic) oneTrial(st *state, g *topo.Graph, pending [][2]int, limit int) [][2]int {
+	l := st.l.Copy()
+	rng := st.rng
+	var seq [][2]int
+
+	totalDistance := func() int {
+		sum := 0
+		for _, p := range pending {
+			d := g.Distances(l.Phys(p[0]))
+			sum += d[l.Phys(p[1])]
+		}
+		return sum
+	}
+	anyAdjacent := func() bool {
+		for _, p := range pending {
+			if g.Connected(l.Phys(p[0]), l.Phys(p[1])) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(seq) < limit {
+		if anyAdjacent() {
+			return seq
+		}
+		// Candidate edges: those touching a physical qubit that currently
+		// holds one side of a pending pair.
+		involved := map[int]bool{}
+		for _, p := range pending {
+			involved[l.Phys(p[0])] = true
+			involved[l.Phys(p[1])] = true
+		}
+		var cands, improving [][2]int
+		cur := totalDistance()
+		for _, e := range g.Edges() {
+			if !involved[e[0]] && !involved[e[1]] {
+				continue
+			}
+			cands = append(cands, e)
+			l.SwapPhys(e[0], e[1])
+			if totalDistance() < cur {
+				improving = append(improving, e)
+			}
+			l.SwapPhys(e[0], e[1])
+		}
+		pool := improving
+		// Random exploration keeps the search from deadlocking on plateaus
+		// and reproduces the baseline's wander.
+		if len(pool) == 0 || rng.Float64() < 0.3 {
+			pool = cands
+		}
+		if len(pool) == 0 {
+			return nil
+		}
+		e := pool[rng.Intn(len(pool))]
+		l.SwapPhys(e[0], e[1])
+		seq = append(seq, e)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package route
+
+import (
+	"fmt"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+// Trios is the paper's modified routing pass: one- and two-qubit gates are
+// routed exactly like the baseline, but an intact CCX is routed as a unit.
+// The three operands are brought into a connected neighborhood by moving
+// all-but-one of them toward a meeting qubit chosen to minimize the total
+// SWAP path length (§4). When the second qubit's path would land on the
+// first's position, it stops one hop earlier, making the first qubit the
+// middle of the line and saving a SWAP.
+type Trios struct {
+	Seed int64
+	// Weight enables noise-aware path selection when non-nil.
+	Weight func(a, b int) float64
+}
+
+// Route implements Router.
+func (t *Trios) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
+	s, err := newState(g, initial, t.Seed, t.Weight)
+	if err != nil {
+		return nil, err
+	}
+	for i, gate := range c.Gates {
+		switch {
+		case gate.Name == circuit.Barrier:
+			s.emitMapped(gate)
+		case len(gate.Qubits) == 1:
+			s.emitMapped(gate)
+		case len(gate.Qubits) == 2:
+			if err := s.routePair(gate.Qubits[0], gate.Qubits[1]); err != nil {
+				return nil, fmt.Errorf("route: gate %d: %w", i, err)
+			}
+			s.emitMapped(gate)
+		case gate.Name == circuit.CCX:
+			if err := s.routeTrio(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2]); err != nil {
+				return nil, fmt.Errorf("route: gate %d: %w", i, err)
+			}
+			s.emitMapped(gate)
+		case gate.Name == circuit.RCCX || gate.Name == circuit.RCCXdg:
+			// Margolus gates additionally need the target in the middle.
+			if err := s.routeTrioRole(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2], gate.Qubits[2]); err != nil {
+				return nil, fmt.Errorf("route: gate %d: %w", i, err)
+			}
+			s.emitMapped(gate)
+		default:
+			return nil, fmt.Errorf("route: trios router cannot handle gate %v (gate %d); first-pass decomposition should leave only 1q, 2q and ccx gates", gate.Name, i)
+		}
+	}
+	return s.result(), nil
+}
+
+// trioConnected reports whether the three physical positions form a
+// connected subgraph (line or triangle), the precondition for the
+// mapping-aware Toffoli decompositions.
+func (s *state) trioConnected(p0, p1, p2 int) bool {
+	_, ok := s.g.LinearTrio(p0, p1, p2)
+	return ok
+}
+
+// routeTrio brings the three virtual qubits of a Toffoli into a connected
+// neighborhood.
+func (s *state) routeTrio(v0, v1, v2 int) error {
+	return s.routeTrioRole(v0, v1, v2, -1)
+}
+
+// trioPlaced reports whether a trio placement satisfies the gate's shape
+// requirement: any connected trio when targetPhys < 0, otherwise a triangle
+// or a line with the target in the middle (the Margolus constraint).
+func (s *state) trioPlaced(p0, p1, p2, targetPhys int) bool {
+	mid, ok := s.g.LinearTrio(p0, p1, p2)
+	if !ok {
+		return false
+	}
+	if targetPhys < 0 || s.g.Triangle(p0, p1, p2) {
+		return true
+	}
+	return mid == targetPhys
+}
+
+// routeTrioRole is routeTrio with an optional role constraint: when
+// targetV >= 0 the placement must leave that operand coupled to both others.
+// After generic trio routing, a wrong-middle line is fixed with one SWAP of
+// the target into the middle position.
+func (s *state) routeTrioRole(v0, v1, v2, targetV int) error {
+	const maxIter = 8
+	for iter := 0; iter < maxIter; iter++ {
+		p0, p1, p2 := s.l.Phys(v0), s.l.Phys(v1), s.l.Phys(v2)
+		targetPhys := -1
+		if targetV >= 0 {
+			targetPhys = s.l.Phys(targetV)
+		}
+		if s.trioPlaced(p0, p1, p2, targetPhys) {
+			return nil
+		}
+		// Connected but with the wrong operand in the middle: one SWAP of
+		// the target with the middle fixes the roles.
+		if mid, ok := s.g.LinearTrio(p0, p1, p2); ok && targetPhys >= 0 && s.g.Connected(mid, targetPhys) {
+			s.out.SWAP(mid, targetPhys)
+			s.l.SwapPhys(mid, targetPhys)
+			s.swaps++
+			continue
+		}
+
+		// Choose the destination: the operand whose summed shortest-path
+		// distance to the other two is minimal.
+		vs := []int{v0, v1, v2}
+		ps := []int{p0, p1, p2}
+		bestIdx, bestSum := -1, int(^uint(0)>>1)
+		for i := 0; i < 3; i++ {
+			d := s.g.Distances(ps[i])
+			sum := 0
+			for j := 0; j < 3; j++ {
+				if d[ps[j]] < 0 {
+					return fmt.Errorf("physical qubits %d and %d are disconnected", ps[i], ps[j])
+				}
+				sum += d[ps[j]]
+			}
+			if sum < bestSum {
+				bestIdx, bestSum = i, sum
+			}
+		}
+		vd := vs[bestIdx]
+		var others []int
+		for i := 0; i < 3; i++ {
+			if i != bestIdx {
+				others = append(others, vs[i])
+			}
+		}
+		// Route the closer of the two movers first.
+		dDest := s.g.Distances(s.l.Phys(vd))
+		va, vb := others[0], others[1]
+		if dDest[s.l.Phys(vb)] < dDest[s.l.Phys(va)] {
+			va, vb = vb, va
+		}
+
+		// Step 1: bring va adjacent to vd.
+		if !s.g.Connected(s.l.Phys(va), s.l.Phys(vd)) {
+			p := s.path(s.l.Phys(va), s.l.Phys(vd))
+			if p == nil {
+				return fmt.Errorf("no path between physical qubits %d and %d", s.l.Phys(va), s.l.Phys(vd))
+			}
+			s.swapAlong(p, 1)
+		}
+
+		// Step 2: bring vb adjacent to vd or to va (overlap trimming: ending
+		// next to va makes va the middle qubit and saves a SWAP). The search
+		// avoids moving through vd's and va's positions so step 1's work is
+		// not undone. In noise-aware mode the attach point minimizes the
+		// path weight plus the weight of the edge that will join the trio,
+		// so the Toffoli's own CNOTs also land on good couplers.
+		pd, pa, pb := s.l.Phys(vd), s.l.Phys(va), s.l.Phys(vb)
+		if !s.g.Connected(pb, pd) && !s.g.Connected(pb, pa) {
+			goal := func(q int) bool {
+				return q != pd && q != pa && (s.g.Connected(q, pd) || s.g.Connected(q, pa))
+			}
+			var p []int
+			if s.weight != nil {
+				p = s.weightedAttach(pb, pd, pa)
+			} else {
+				p = s.bfsAvoid(pb, goal, map[int]bool{pd: true, pa: true})
+			}
+			if p == nil {
+				// Fallback: unrestricted path toward the destination; the
+				// loop re-checks connectivity after positions shift.
+				p = s.path(pb, pd)
+				if p == nil {
+					return fmt.Errorf("no path between physical qubits %d and %d", pb, pd)
+				}
+				s.swapAlong(p, 1)
+				continue
+			}
+			s.swapAlong(p, 0)
+		}
+
+		// Loop to the top, which re-checks connectivity and the role
+		// constraint and applies the middle-fix swap if needed.
+	}
+	return fmt.Errorf("trio (%d,%d,%d) did not converge to a connected placement", v0, v1, v2)
+}
+
+// weightedAttach finds, in noise-aware mode, the best position from which
+// vb can join the trio: Dijkstra from `from` avoiding pd and pa, scoring
+// each candidate attach node by path weight plus the cheapest edge that
+// connects it to pd or pa. Returns the path to the winning node, or nil.
+func (s *state) weightedAttach(from, pd, pa int) []int {
+	n := s.g.NumQubits()
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf()
+		prev[i] = -1
+	}
+	dist[from] = 0
+	for {
+		// Extract-min without a heap: graphs here are tiny.
+		u, best := -1, inf()
+		for q := 0; q < n; q++ {
+			if !done[q] && dist[q] < best {
+				u, best = q, dist[q]
+			}
+		}
+		if u == -1 {
+			break
+		}
+		done[u] = true
+		for _, nb := range s.g.Neighbors(u) {
+			if nb == pd || nb == pa {
+				continue
+			}
+			w := s.weight(u, nb)
+			if w < 0 {
+				w = 0
+			}
+			if nd := dist[u] + w; nd < dist[nb] {
+				dist[nb] = nd
+				prev[nb] = u
+			}
+		}
+	}
+	// Score candidates: path weight + best connection edge weight.
+	bestNode, bestScore := -1, inf()
+	for q := 0; q < n; q++ {
+		if q == pd || q == pa || dist[q] == inf() {
+			continue
+		}
+		conn := inf()
+		if s.g.Connected(q, pd) {
+			conn = s.weight(q, pd)
+		}
+		if s.g.Connected(q, pa) {
+			if w := s.weight(q, pa); w < conn {
+				conn = w
+			}
+		}
+		if conn == inf() {
+			continue
+		}
+		if score := dist[q] + conn; score < bestScore {
+			bestNode, bestScore = q, score
+		}
+	}
+	if bestNode == -1 {
+		return nil
+	}
+	var rev []int
+	for q := bestNode; q != -1; q = prev[q] {
+		rev = append(rev, q)
+	}
+	path := make([]int, len(rev))
+	for i, q := range rev {
+		path[len(rev)-1-i] = q
+	}
+	return path
+}
+
+func inf() float64 { return 1e308 }
+
+// bfsAvoid finds a shortest path from `from` to any node satisfying goal,
+// never visiting nodes in avoid. Returns nil if unreachable. Tie-breaks
+// deterministically by visit order (ascending neighbor index).
+func (s *state) bfsAvoid(from int, goal func(int) bool, avoid map[int]bool) []int {
+	if goal(from) {
+		return []int{from}
+	}
+	prev := make([]int, s.g.NumQubits())
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	prev[from] = -1
+	queue := []int{from}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, nb := range s.g.Neighbors(q) {
+			if prev[nb] != -2 || avoid[nb] {
+				continue
+			}
+			prev[nb] = q
+			if goal(nb) {
+				var rev []int
+				for x := nb; x != -1; x = prev[x] {
+					rev = append(rev, x)
+				}
+				path := make([]int, len(rev))
+				for i, x := range rev {
+					path[len(rev)-1-i] = x
+				}
+				return path
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+)
+
+func TestALAPSameMakespanAsASAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.New(5)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.H(rng.Intn(5))
+			case 1:
+				c.T(rng.Intn(5))
+			default:
+				p := rng.Perm(5)
+				c.CX(p[0], p[1])
+			}
+		}
+		asap, err := ASAP(c, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alap, err := ALAP(c, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(asap.TotalDuration-alap.TotalDuration) > 1e-9 {
+			t.Fatalf("makespans differ: %v vs %v", asap.TotalDuration, alap.TotalDuration)
+		}
+		// ALAP starts are always >= ASAP starts and respect dependencies.
+		for i := range c.Gates {
+			if alap.Start[i] < asap.Start[i]-1e-9 {
+				t.Fatalf("gate %d alap start %v < asap %v", i, alap.Start[i], asap.Start[i])
+			}
+		}
+		checkScheduleValid(t, c, alap, unit)
+	}
+}
+
+// checkScheduleValid asserts no two gates overlap on a qubit and order is
+// preserved per qubit.
+func checkScheduleValid(t *testing.T, c *circuit.Circuit, s *Schedule, times GateTimes) {
+	t.Helper()
+	type span struct{ start, end float64 }
+	perQubit := make([][]span, c.NumQubits)
+	for i, g := range c.Gates {
+		d, err := times.Duration(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range g.Qubits {
+			perQubit[q] = append(perQubit[q], span{s.Start[i], s.Start[i] + d})
+		}
+	}
+	for q, spans := range perQubit {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end-1e-9 {
+				t.Fatalf("qubit %d: gates overlap (%v then %v)", q, spans[i-1], spans[i])
+			}
+		}
+	}
+}
+
+func TestALAPDelaysLateGates(t *testing.T) {
+	// h(1) has no successors: ASAP puts it at t=0, ALAP at the end.
+	c := circuit.New(2)
+	c.H(0)
+	c.T(0)
+	c.T(0)
+	c.H(1)
+	asap, _ := ASAP(c, unit)
+	alap, _ := ALAP(c, unit)
+	if asap.Start[3] != 0 {
+		t.Errorf("asap h(1) start = %v", asap.Start[3])
+	}
+	if alap.Start[3] != alap.TotalDuration-1 {
+		t.Errorf("alap h(1) start = %v, want %v", alap.Start[3], alap.TotalDuration-1)
+	}
+}
+
+func TestIdleTimeALAPNotWorse(t *testing.T) {
+	// Qubit 1 waits for a long chain on qubit 0 before its only gate; ALAP
+	// removes its leading idle (first-use to gate), keeping idle <= ASAP's.
+	c := circuit.New(2)
+	for i := 0; i < 5; i++ {
+		c.T(0)
+	}
+	c.H(1)
+	c.CX(0, 1)
+	asap, _ := ASAP(c, unit)
+	alap, _ := ALAP(c, unit)
+	idleASAP, err := IdleTime(c, asap, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleALAP, err := IdleTime(c, alap, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idleALAP > idleASAP {
+		t.Errorf("alap idle %v > asap idle %v", idleALAP, idleASAP)
+	}
+	if idleALAP != 0 {
+		t.Errorf("alap idle = %v, want 0 for this circuit", idleALAP)
+	}
+}
+
+func TestALAPRejectsMCX(t *testing.T) {
+	c := circuit.New(4)
+	c.MCX([]int{0, 1, 2}, 3)
+	if _, err := ALAP(c, unit); err == nil {
+		t.Error("expected error")
+	}
+}

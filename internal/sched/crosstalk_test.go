@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/topo"
+)
+
+func TestCrosstalkSerializesAdjacentCNOTs(t *testing.T) {
+	// Line 0-1-2-3: cx(0,1) and cx(2,3) act on adjacent couplings (qubits
+	// 1 and 2 are coupled), so they must not overlap.
+	g := topo.Line(4)
+	c := circuit.New(4)
+	c.CX(0, 1).CX(2, 3)
+	plain, err := ASAP(c, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := CrosstalkASAP(c, unit, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalDuration != 10 {
+		t.Errorf("plain makespan = %v, want 10 (parallel)", plain.TotalDuration)
+	}
+	if serial.TotalDuration != 20 {
+		t.Errorf("serialized makespan = %v, want 20", serial.TotalDuration)
+	}
+}
+
+func TestCrosstalkAllowsDistantCNOTs(t *testing.T) {
+	// Line of 6: cx(0,1) and cx(4,5) share no coupling; they may overlap.
+	g := topo.Line(6)
+	c := circuit.New(6)
+	c.CX(0, 1).CX(4, 5)
+	serial, err := CrosstalkASAP(c, unit, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalDuration != 10 {
+		t.Errorf("distant CNOTs serialized: makespan %v, want 10", serial.TotalDuration)
+	}
+}
+
+func TestCrosstalkOneQubitGatesUnaffected(t *testing.T) {
+	g := topo.Line(3)
+	c := circuit.New(3)
+	c.H(0).H(1).H(2)
+	serial, err := CrosstalkASAP(c, unit, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalDuration != 1 {
+		t.Errorf("1q layer makespan = %v, want 1", serial.TotalDuration)
+	}
+}
+
+func TestCrosstalkRejectsNonCoupledCX(t *testing.T) {
+	g := topo.Line(4)
+	c := circuit.New(4)
+	c.CX(0, 3)
+	if _, err := CrosstalkASAP(c, unit, g); err == nil {
+		t.Error("expected error for off-coupling cx")
+	}
+}
+
+func TestCrosstalkScheduleValid(t *testing.T) {
+	g := topo.Grid5x4()
+	c := circuit.New(20)
+	for _, e := range g.Edges() {
+		c.CX(e[0], e[1])
+	}
+	serial, err := CrosstalkASAP(c, unit, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkScheduleValid(t, c, serial, unit)
+	// No two adjacent-coupling CNOTs overlap.
+	for i := 0; i < len(c.Gates); i++ {
+		for j := i + 1; j < len(c.Gates); j++ {
+			gi, gj := c.Gates[i], c.Gates[j]
+			if !gi.IsTwoQubit() || !gj.IsTwoQubit() {
+				continue
+			}
+			adjacent := false
+			for _, x := range gi.Qubits {
+				for _, y := range gj.Qubits {
+					if x == y || g.Connected(x, y) {
+						adjacent = true
+					}
+				}
+			}
+			if !adjacent {
+				continue
+			}
+			si, sj := serial.Start[i], serial.Start[j]
+			if si < sj+10 && sj < si+10 {
+				t.Fatalf("gates %d and %d overlap on adjacent couplings (%v, %v)", i, j, si, sj)
+			}
+		}
+	}
+}
+
+func TestSerializationOverhead(t *testing.T) {
+	g := topo.Line(4)
+	c := circuit.New(4)
+	c.CX(0, 1).CX(2, 3)
+	ratio, err := SerializationOverhead(c, unit, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 2 {
+		t.Errorf("overhead = %v, want 2", ratio)
+	}
+	// Circuit with no parallel adjacent pairs has overhead 1.
+	c2 := circuit.New(4)
+	c2.CX(0, 1).CX(0, 1)
+	r2, _ := SerializationOverhead(c2, unit, g)
+	if r2 != 1 {
+		t.Errorf("overhead = %v, want 1", r2)
+	}
+}
+
+func TestCrosstalkEmptyCircuit(t *testing.T) {
+	g := topo.Line(2)
+	ratio, err := SerializationOverhead(circuit.New(2), unit, g)
+	if err != nil || ratio != 1 {
+		t.Errorf("empty overhead = %v, %v", ratio, err)
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"trios/internal/circuit"
+)
+
+var unit = GateTimes{OneQubit: 1, TwoQubit: 10, Measure: 100}
+
+func TestASAPSequentialGates(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).T(0).H(0)
+	s, err := ASAP(c, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2}
+	for i, w := range want {
+		if s.Start[i] != w {
+			t.Errorf("start[%d] = %v, want %v", i, s.Start[i], w)
+		}
+	}
+	if s.TotalDuration != 3 {
+		t.Errorf("duration = %v", s.TotalDuration)
+	}
+}
+
+func TestASAPParallelGates(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).H(1)
+	s, _ := ASAP(c, unit)
+	if s.Start[1] != 0 {
+		t.Error("independent gates should start together")
+	}
+	if s.TotalDuration != 1 {
+		t.Errorf("duration = %v", s.TotalDuration)
+	}
+}
+
+func TestASAPTwoQubitDependency(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1).H(1)
+	s, _ := ASAP(c, unit)
+	if s.Start[1] != 1 {
+		t.Errorf("cx start = %v, want 1", s.Start[1])
+	}
+	if s.Start[2] != 11 {
+		t.Errorf("h(1) start = %v, want 11", s.Start[2])
+	}
+	if s.TotalDuration != 12 {
+		t.Errorf("duration = %v", s.TotalDuration)
+	}
+}
+
+func TestASAPBarrierSynchronizes(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).Barrier().H(1)
+	s, _ := ASAP(c, unit)
+	// h(1) cannot start before the barrier, which waits for h(0).
+	if s.Start[2] != 1 {
+		t.Errorf("post-barrier start = %v, want 1", s.Start[2])
+	}
+}
+
+func TestSwapAndToffoliDurations(t *testing.T) {
+	c := circuit.New(3)
+	c.SWAP(0, 1)
+	d, err := Duration(c, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 30 {
+		t.Errorf("swap duration = %v, want 30", d)
+	}
+	c2 := circuit.New(3)
+	c2.CCX(0, 1, 2)
+	d2, _ := Duration(c2, unit)
+	if d2 != 84 { // 8*10 + 4*1
+		t.Errorf("ccx duration = %v, want 84", d2)
+	}
+}
+
+func TestMeasureDuration(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).Measure(0)
+	d, _ := Duration(c, unit)
+	if d != 101 {
+		t.Errorf("duration = %v, want 101", d)
+	}
+}
+
+func TestMCXRejected(t *testing.T) {
+	c := circuit.New(4)
+	c.MCX([]int{0, 1, 2}, 3)
+	if _, err := ASAP(c, unit); err == nil {
+		t.Error("expected error for mcx")
+	}
+}
+
+func TestCriticalPathGates(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0).CX(0, 1).CX(1, 2) // chain of 3
+	c.H(2)                   // extends chain to 4 on qubit 2
+	s, _ := ASAP(c, unit)
+	if s.CriticalPathGates != 4 {
+		t.Errorf("critical path = %d, want 4", s.CriticalPathGates)
+	}
+}
+
+func TestJohannesburgTimes(t *testing.T) {
+	gt := JohannesburgTimes()
+	if math.Abs(gt.TwoQubit-0.559) > 1e-12 || math.Abs(gt.OneQubit-0.07) > 1e-12 {
+		t.Errorf("johannesburg times wrong: %+v", gt)
+	}
+}
+
+func TestDurationMatchesDepthTimesGateTimeOnSerialCircuit(t *testing.T) {
+	c := circuit.New(2)
+	for i := 0; i < 7; i++ {
+		c.CX(0, 1)
+	}
+	d, _ := Duration(c, unit)
+	if d != 70 {
+		t.Errorf("duration = %v, want 70", d)
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+)
+
+func benchCircuit(n, gates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		default:
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+func BenchmarkStatevector16Qubits(b *testing.B) {
+	c := benchCircuit(16, 100, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewState(16)
+		if err := s.ApplyCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatevector20Qubits(b *testing.B) {
+	c := benchCircuit(20, 50, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewState(20)
+		if err := s.ApplyCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassicalRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.New(20)
+	for i := 0; i < 500; i++ {
+		p := rng.Perm(20)
+		c.CCX(p[0], p[1], p[2])
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClassicalRun(c, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEquivalenceCheck(b *testing.B) {
+	c := benchCircuit(10, 60, 4)
+	d := c.Copy()
+	for i := 0; i < b.N; i++ {
+		ok, err := Equivalent(c, d, 1, int64(i))
+		if err != nil || !ok {
+			b.Fatal("equivalence failed")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trios/internal/circuit"
+)
+
+func TestIsClassical(t *testing.T) {
+	c := circuit.New(3)
+	c.X(0).CX(0, 1).CCX(0, 1, 2).SWAP(0, 2).Barrier()
+	if !IsClassical(c) {
+		t.Error("classical circuit not recognized")
+	}
+	c.H(0)
+	if IsClassical(c) {
+		t.Error("H is not classical")
+	}
+}
+
+func TestClassicalRunMatchesStatevector(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomClassicalCircuit(rng, 5, 30)
+		in := uint64(rng.Intn(32))
+		fast, err := ClassicalRun(c, in)
+		if err != nil {
+			return false
+		}
+		slow, err := ClassicalOutput(c, in)
+		if err != nil {
+			return false
+		}
+		return fast == slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassicalRunRejectsQuantumGates(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0)
+	if _, err := ClassicalRun(c, 0); err == nil {
+		t.Error("expected error for H")
+	}
+}
+
+func TestSameClassicalFunction(t *testing.T) {
+	a := circuit.New(3)
+	a.CCX(0, 1, 2)
+	// CCX implemented with an MCX.
+	b := circuit.New(3)
+	b.MCX([]int{0, 1}, 2)
+	ok, err := SameClassicalFunction(a, b, 0)
+	if err != nil || !ok {
+		t.Errorf("equivalent circuits reported different: %v %v", ok, err)
+	}
+	c := circuit.New(3)
+	c.CX(0, 2)
+	ok, err = SameClassicalFunction(a, c, 0)
+	if err != nil || ok {
+		t.Errorf("different circuits reported same: %v %v", ok, err)
+	}
+}
+
+func TestSameClassicalFunctionQubitMismatch(t *testing.T) {
+	a := circuit.New(2)
+	b := circuit.New(3)
+	if _, err := SameClassicalFunction(a, b, 0); err == nil {
+		t.Error("expected qubit-count error")
+	}
+}
+
+func randomClassicalCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			c.X(rng.Intn(n))
+		case 1:
+			a, b := distinctPair(rng, n)
+			c.CX(a, b)
+		case 2:
+			a, b := distinctPair(rng, n)
+			c.SWAP(a, b)
+		case 3:
+			p := rng.Perm(n)
+			c.CCX(p[0], p[1], p[2])
+		case 4:
+			p := rng.Perm(n)
+			c.MCX(p[:3], p[3])
+		}
+	}
+	return c
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"trios/internal/circuit"
+)
+
+// EquivalenceTolerance is the fidelity slack allowed when comparing states;
+// it absorbs float64 rounding across a few hundred gates.
+const EquivalenceTolerance = 1e-9
+
+// Equivalent reports whether two circuits on the same number of qubits
+// implement the same unitary up to global phase, checked by applying both to
+// `trials` random states. This probabilistic check is exact with probability
+// 1 for Haar-random inputs; a handful of trials leaves no realistic escape
+// for a buggy decomposition.
+func Equivalent(a, b *circuit.Circuit, trials int, seed int64) (bool, error) {
+	if a.NumQubits != b.NumQubits {
+		return false, fmt.Errorf("sim: qubit count mismatch %d vs %d", a.NumQubits, b.NumQubits)
+	}
+	for t := 0; t < trials; t++ {
+		in := NewRandomState(a.NumQubits, seed+int64(t))
+		sa := in.Copy()
+		if err := sa.ApplyCircuit(a); err != nil {
+			return false, fmt.Errorf("sim: circuit a: %w", err)
+		}
+		sb := in
+		if err := sb.ApplyCircuit(b); err != nil {
+			return false, fmt.Errorf("sim: circuit b: %w", err)
+		}
+		if sa.Fidelity(sb) < 1-EquivalenceTolerance {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CompiledEquivalent verifies a compiled physical circuit against its logical
+// source. The logical circuit has nLogical qubits; the physical circuit runs
+// on nPhysical >= nLogical device qubits. initial maps logical qubit -> the
+// physical qubit it starts on, and final maps logical qubit -> the physical
+// qubit holding it after routing SWAPs.
+//
+// The check embeds a random logical state into the device (extra device
+// qubits in |0>), runs the compiled circuit, undoes the final placement
+// permutation, and compares against the logical circuit's output.
+func CompiledEquivalent(logical, physical *circuit.Circuit, nPhysical int, initial, final []int, trials int, seed int64) (bool, error) {
+	nLogical := logical.NumQubits
+	if len(initial) != nLogical || len(final) != nLogical {
+		return false, fmt.Errorf("sim: layout length %d/%d, want %d", len(initial), len(final), nLogical)
+	}
+	if physical.NumQubits > nPhysical {
+		return false, fmt.Errorf("sim: physical circuit uses %d qubits, device has %d", physical.NumQubits, nPhysical)
+	}
+	for t := 0; t < trials; t++ {
+		// Reference: logical state evolved by the logical circuit, then
+		// embedded at the *final* physical positions.
+		in := NewRandomState(nLogical, seed+int64(t))
+		ref := in.Copy()
+		if err := ref.ApplyCircuit(logical); err != nil {
+			return false, fmt.Errorf("sim: logical circuit: %w", err)
+		}
+		want := embed(ref, nPhysical, final)
+
+		// Compiled: embed the input at the *initial* positions and run the
+		// physical circuit.
+		got := embed(in, nPhysical, initial)
+		if err := got.ApplyCircuit(physical); err != nil {
+			return false, fmt.Errorf("sim: physical circuit: %w", err)
+		}
+		if got.Fidelity(want) < 1-EquivalenceTolerance {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// embed places logical qubit i of s at physical position place[i] of a
+// larger register, with all other physical qubits in |0>.
+func embed(s *State, nPhysical int, place []int) *State {
+	out := NewState(nPhysical)
+	out.amp[0] = 0
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		var j uint64
+		for q := 0; q < s.n; q++ {
+			if i&(1<<uint(q)) != 0 {
+				j |= 1 << uint(place[q])
+			}
+		}
+		out.amp[j] = s.amp[i]
+	}
+	return out
+}
+
+// ClassicalOutput runs a circuit on a computational basis input and returns
+// the resulting basis state, failing if the output is not a basis state
+// (probability of the max-amplitude state < 1-tol). Useful for verifying
+// reversible/arithmetic benchmark circuits by truth table.
+func ClassicalOutput(c *circuit.Circuit, input uint64) (uint64, error) {
+	s := NewBasisState(c.NumQubits, input)
+	if err := s.ApplyCircuit(c); err != nil {
+		return 0, err
+	}
+	best, bestP := uint64(0), 0.0
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if p := s.Probability(i); p > bestP {
+			best, bestP = i, p
+		}
+	}
+	if bestP < 1-1e-6 {
+		return 0, fmt.Errorf("sim: output not classical (max probability %.6f)", bestP)
+	}
+	return best, nil
+}

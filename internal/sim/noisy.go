@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trios/internal/circuit"
+)
+
+// PauliNoise configures the Monte-Carlo error-injection simulator: after
+// every gate, each operand qubit independently suffers a uniformly random
+// non-identity Pauli (X, Y, or Z) with the per-gate error probability, and
+// measured bits flip with the readout probability. This is a stronger,
+// trajectory-level model than the paper's closed-form estimate — the
+// closed-form counts *any* error event as failure, while here errors can
+// commute through or cancel — so it upper-bounds the closed form and is used
+// in tests to validate it.
+type PauliNoise struct {
+	OneQubitError float64
+	TwoQubitError float64
+	ReadoutError  float64
+}
+
+// MonteCarloSuccess runs the circuit `shots` times under Pauli noise and
+// returns the fraction of runs whose measured output (all qubits, or the
+// measured subset if the circuit contains Measure gates) equals `expect`.
+// expectMask selects which qubits are compared (use ^uint64(0) for all).
+func MonteCarloSuccess(c *circuit.Circuit, noise PauliNoise, expect, expectMask uint64, shots int, seed int64) (float64, error) {
+	if c.NumQubits > 14 {
+		return 0, fmt.Errorf("sim: monte carlo limited to 14 qubits, circuit has %d", c.NumQubits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	successes := 0
+	paulis := []circuit.Name{circuit.X, circuit.Y, circuit.Z}
+	for shot := 0; shot < shots; shot++ {
+		s := NewState(c.NumQubits)
+		for i := range c.Gates {
+			g := c.Gates[i]
+			if g.Name == circuit.Measure || g.Name == circuit.Barrier {
+				continue
+			}
+			if err := s.ApplyGate(g); err != nil {
+				return 0, fmt.Errorf("gate %d: %w", i, err)
+			}
+			p := noise.OneQubitError
+			if len(g.Qubits) >= 2 {
+				p = noise.TwoQubitError
+			}
+			for _, q := range g.Qubits {
+				if rng.Float64() < p {
+					pg := circuit.NewGate(paulis[rng.Intn(3)], []int{q})
+					if err := s.ApplyGate(pg); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		out := s.MeasureAll(rng)
+		// Readout flips.
+		for q := 0; q < c.NumQubits; q++ {
+			if rng.Float64() < noise.ReadoutError {
+				out ^= 1 << uint(q)
+			}
+		}
+		if out&expectMask == expect&expectMask {
+			successes++
+		}
+	}
+	return float64(successes) / float64(shots), nil
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"trios/internal/circuit"
+)
+
+func toffoli110Circuit() *circuit.Circuit {
+	c := circuit.New(3)
+	c.X(0)
+	c.X(1)
+	c.CCX(0, 1, 2)
+	return c
+}
+
+func TestMonteCarloNoiselessIsPerfect(t *testing.T) {
+	c := toffoli110Circuit()
+	p, err := MonteCarloSuccess(c, PauliNoise{}, 7, ^uint64(0), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("noiseless success = %v, want 1", p)
+	}
+}
+
+func TestMonteCarloDecreasesWithError(t *testing.T) {
+	c := toffoli110Circuit()
+	low, err := MonteCarloSuccess(c, PauliNoise{OneQubitError: 0.001, TwoQubitError: 0.005}, 7, ^uint64(0), 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := MonteCarloSuccess(c, PauliNoise{OneQubitError: 0.02, TwoQubitError: 0.1}, 7, ^uint64(0), 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high >= low {
+		t.Errorf("more noise should fail more: %v vs %v", low, high)
+	}
+}
+
+// TestMonteCarloUpperBoundsClosedForm validates the paper's §2.6 estimate:
+// the closed form treats any error event as failure, so the trajectory-level
+// Monte Carlo (where errors can still yield the right outcome) must sit at
+// or above it, and close to it for small error rates.
+func TestMonteCarloUpperBoundsClosedForm(t *testing.T) {
+	c := toffoli110Circuit()
+	e1, e2 := 0.002, 0.02
+	// Closed form with gate errors only: the circuit has 2 one-qubit gates
+	// (each 1 operand) and 1 three-qubit gate (3 operands, charged at the
+	// two-qubit rate per operand in the Pauli model).
+	analytic := math.Pow(1-e1, 2) * math.Pow(1-e2, 3)
+	mc, err := MonteCarloSuccess(c, PauliNoise{OneQubitError: e1, TwoQubitError: e2}, 7, ^uint64(0), 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-sigma binomial tolerance at 8000 shots.
+	tol := 3 * math.Sqrt(analytic*(1-analytic)/8000)
+	if mc < analytic-tol {
+		t.Errorf("monte carlo %v below closed form %v - tol %v", mc, analytic, tol)
+	}
+	if mc > analytic+0.05 {
+		t.Errorf("monte carlo %v far above closed form %v: error accounting off", mc, analytic)
+	}
+}
+
+func TestMonteCarloReadoutError(t *testing.T) {
+	c := circuit.New(1) // identity circuit, measure |0>
+	clean, err := MonteCarloSuccess(c, PauliNoise{}, 0, 1, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := MonteCarloSuccess(c, PauliNoise{ReadoutError: 0.2}, 0, 1, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != 1 {
+		t.Errorf("clean readout = %v", clean)
+	}
+	if math.Abs(noisy-0.8) > 0.03 {
+		t.Errorf("noisy readout = %v, want ~0.8", noisy)
+	}
+}
+
+func TestMonteCarloMask(t *testing.T) {
+	// Only compare qubit 0; qubit 1's value is ignored.
+	c := circuit.New(2)
+	c.X(0)
+	c.H(1)
+	p, err := MonteCarloSuccess(c, PauliNoise{}, 1, 1, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("masked success = %v, want 1", p)
+	}
+}
+
+func TestMonteCarloSizeLimit(t *testing.T) {
+	c := circuit.New(15)
+	if _, err := MonteCarloSuccess(c, PauliNoise{}, 0, 1, 10, 6); err == nil {
+		t.Error("expected size-limit error")
+	}
+}

@@ -1,0 +1,119 @@
+package stab
+
+import (
+	"math/rand"
+)
+
+// MeasureZ measures qubit q in the computational basis, collapsing the
+// state. It returns the outcome bit and whether the outcome was
+// deterministic (the state was already a Z eigenstate of q).
+//
+// The implementation follows the Aaronson-Gottesman measurement procedure
+// adapted to a stabilizer-only tableau: if some generator anticommutes with
+// Z_q (has an X on q), the outcome is random — that generator is replaced by
+// ±Z_q and multiplied into the other anticommuting generators. Otherwise
+// Z_q (possibly negated) is in the stabilizer group; the sign is recovered
+// by reducing Z_q against the generators.
+func (s *State) MeasureZ(q int, rng *rand.Rand) (outcome int, deterministic bool) {
+	// Find a generator with X on q.
+	p := -1
+	for i := 0; i < s.n; i++ {
+		if s.getX(i, q) {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome: all other generators with X_q get multiplied by
+		// generator p so they commute with Z_q; generator p becomes ±Z_q.
+		for i := 0; i < s.n; i++ {
+			if i != p && s.getX(i, q) {
+				s.rowMul(i, p)
+			}
+		}
+		bit := uint8(0)
+		if rng.Float64() < 0.5 {
+			bit = 1
+		}
+		for w := range s.x[p] {
+			s.x[p][w] = 0
+			s.z[p][w] = 0
+		}
+		s.flipZ(p, q)
+		s.r[p] = bit
+		return int(bit), false
+	}
+
+	// Deterministic: express Z_q as a product of generators by Gaussian
+	// elimination on a scratch copy, accumulating the sign.
+	scratch := s.Copy()
+	scratch.canonicalize()
+	// After canonicalization the Z-only rows are in reduced form; reduce
+	// the target Pauli Z_q against them.
+	targetZ := make([]uint64, words(s.n))
+	targetZ[q/64] |= 1 << uint(q%64)
+	sign := uint8(0)
+	for i := 0; i < scratch.n; i++ {
+		if rowIsZero(scratch, i) {
+			continue
+		}
+		// Find the row's leading Z bit (rows with X can't contribute to a
+		// pure-Z product on a stabilizer tableau in canonical form).
+		if anyX(scratch, i) {
+			continue
+		}
+		lead := leadingZ(scratch, i)
+		if lead < 0 {
+			continue
+		}
+		if targetZ[lead/64]&(1<<uint(lead%64)) != 0 {
+			for w := range targetZ {
+				targetZ[w] ^= scratch.z[i][w]
+			}
+			sign ^= scratch.r[i]
+		}
+	}
+	// targetZ must now be zero (Z_q is in the group since nothing
+	// anticommutes with it on a full-rank tableau).
+	return int(sign), true
+}
+
+func rowIsZero(s *State, i int) bool {
+	for w := range s.x[i] {
+		if s.x[i][w] != 0 || s.z[i][w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func anyX(s *State, i int) bool {
+	for _, w := range s.x[i] {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func leadingZ(s *State, i int) int {
+	for q := 0; q < s.n; q++ {
+		if s.getZ(i, q) {
+			return q
+		}
+	}
+	return -1
+}
+
+// MeasureAll measures every qubit in order and returns the resulting
+// bitstring (bit q of the result is qubit q's outcome). The state collapses.
+func (s *State) MeasureAll(rng *rand.Rand) uint64 {
+	var out uint64
+	for q := 0; q < s.n; q++ {
+		bit, _ := s.MeasureZ(q, rng)
+		if bit == 1 {
+			out |= 1 << uint(q)
+		}
+	}
+	return out
+}

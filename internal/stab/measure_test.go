@@ -1,0 +1,129 @@
+package stab
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMeasureDeterministicZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewState(2)
+	bit, det := s.MeasureZ(0, rng)
+	if bit != 0 || !det {
+		t.Errorf("measuring |0> gave %d, det=%v", bit, det)
+	}
+}
+
+func TestMeasureDeterministicOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewState(1)
+	s.X(0)
+	bit, det := s.MeasureZ(0, rng)
+	if bit != 1 || !det {
+		t.Errorf("measuring |1> gave %d, det=%v", bit, det)
+	}
+}
+
+func TestMeasurePlusStateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	zeros, ones := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		s := NewState(1)
+		s.H(0)
+		bit, det := s.MeasureZ(0, rng)
+		if det {
+			t.Fatal("measuring |+> should be random")
+		}
+		if bit == 0 {
+			zeros++
+		} else {
+			ones++
+		}
+		// Post-measurement the state is the observed eigenstate:
+		// re-measuring must be deterministic and equal.
+		bit2, det2 := s.MeasureZ(0, rng)
+		if !det2 || bit2 != bit {
+			t.Fatalf("re-measurement gave %d det=%v after %d", bit2, det2, bit)
+		}
+	}
+	if zeros < 140 || ones < 140 {
+		t.Errorf("outcomes skewed: %d zeros, %d ones", zeros, ones)
+	}
+}
+
+func TestMeasureBellCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		s := NewState(2)
+		s.H(0)
+		s.CX(0, 1)
+		b0, _ := s.MeasureZ(0, rng)
+		b1, det := s.MeasureZ(1, rng)
+		if !det {
+			t.Fatal("second bell measurement must be deterministic")
+		}
+		if b0 != b1 {
+			t.Fatalf("bell outcomes disagree: %d vs %d", b0, b1)
+		}
+	}
+}
+
+func TestMeasureAllGHZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seen := map[uint64]int{}
+	for trial := 0; trial < 300; trial++ {
+		s := NewState(3)
+		s.H(0)
+		s.CX(0, 1)
+		s.CX(1, 2)
+		out := s.MeasureAll(rng)
+		seen[out]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("GHZ outcomes: %v", seen)
+	}
+	if seen[0] == 0 || seen[7] == 0 {
+		t.Fatalf("GHZ should yield 000 or 111: %v", seen)
+	}
+}
+
+func TestMeasureAnticorrelatedBell(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		// |01> + |10>: X on one side of the bell pair.
+		s := NewState(2)
+		s.H(0)
+		s.CX(0, 1)
+		s.X(1)
+		b0, _ := s.MeasureZ(0, rng)
+		b1, _ := s.MeasureZ(1, rng)
+		if b0 == b1 {
+			t.Fatalf("anticorrelated bell gave %d,%d", b0, b1)
+		}
+	}
+}
+
+func TestMeasureBVRecoversSecret(t *testing.T) {
+	// The BV circuit measured on the tableau returns the all-ones secret
+	// deterministically on the data qubits.
+	rng := rand.New(rand.NewSource(7))
+	n := 19
+	s := NewState(n + 1)
+	s.X(n)
+	s.H(n)
+	for i := 0; i < n; i++ {
+		s.H(i)
+	}
+	for i := 0; i < n; i++ {
+		s.CX(i, n)
+	}
+	for i := 0; i < n; i++ {
+		s.H(i)
+	}
+	for q := 0; q < n; q++ {
+		bit, det := s.MeasureZ(q, rng)
+		if !det || bit != 1 {
+			t.Fatalf("data qubit %d: bit=%d det=%v, want deterministic 1", q, bit, det)
+		}
+	}
+}

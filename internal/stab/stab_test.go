@@ -1,0 +1,242 @@
+package stab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+	"trios/internal/sim"
+)
+
+func TestInitialState(t *testing.T) {
+	s := NewState(3)
+	want := []string{"+IIZ", "+IZI", "+ZII"}
+	got := s.Stabilizers()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stabilizers = %v", got)
+		}
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.CX(0, 1)
+	got := s.Stabilizers()
+	// Bell state: stabilized by XX and ZZ.
+	want := []string{"+XX", "+ZZ"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bell stabilizers = %v", got)
+		}
+	}
+}
+
+func TestXFlipsSign(t *testing.T) {
+	s := NewState(1)
+	s.X(0)
+	if got := s.Stabilizers(); got[0] != "-Z" {
+		t.Errorf("X|0> stabilizer = %v", got)
+	}
+}
+
+func TestEqualCanonicalization(t *testing.T) {
+	// Same state built two ways: |+>|+> via H,H and via H,H with an extra
+	// CZ CZ pair that cancels.
+	a := NewState(2)
+	a.H(0)
+	a.H(1)
+	b := NewState(2)
+	b.H(0)
+	b.H(1)
+	b.CZ(0, 1)
+	b.CZ(0, 1)
+	if !a.Equal(b) {
+		t.Error("equal states reported different")
+	}
+	c := NewState(2)
+	c.H(0)
+	if a.Equal(c) {
+		t.Error("different states reported equal")
+	}
+}
+
+func TestSwapGate(t *testing.T) {
+	s := NewState(2)
+	s.X(0)
+	s.Swap(0, 1)
+	got := s.Stabilizers()
+	// After X(0), Swap: qubit 1 is |1>: stabilizers -Z on qubit 1, +Z on 0
+	// (string index = qubit).
+	want := map[string]bool{"+ZI": true, "-IZ": true}
+	for _, g := range got {
+		if !want[g] {
+			t.Fatalf("swap stabilizers = %v", got)
+		}
+	}
+}
+
+// pauliExpectation computes <psi|P|psi> for a Pauli string on a statevector.
+func pauliExpectation(t *testing.T, psi *sim.State, xs, zs []bool, sign uint8) float64 {
+	t.Helper()
+	phi := psi.Copy()
+	// Apply Z then X per qubit (order matters only up to global phase
+	// consistent with the tableau's convention: generator = i^0 * prod
+	// X^x Z^z per qubit... use Y where both).
+	for q := range xs {
+		switch {
+		case xs[q] && zs[q]:
+			if err := phi.ApplyGate(circuit.NewGate(circuit.Y, []int{q})); err != nil {
+				t.Fatal(err)
+			}
+		case xs[q]:
+			if err := phi.ApplyGate(circuit.NewGate(circuit.X, []int{q})); err != nil {
+				t.Fatal(err)
+			}
+		case zs[q]:
+			if err := phi.ApplyGate(circuit.NewGate(circuit.Z, []int{q})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ip := real(psi.InnerProduct(phi))
+	if sign == 1 {
+		ip = -ip
+	}
+	return ip
+}
+
+// TestAgainstStatevector cross-validates the tableau against the exact
+// statevector: after a random Clifford circuit, every stabilizer generator
+// must have expectation +1 on the statevector.
+func TestAgainstStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 4
+		c := randomClifford(rng, n, 30)
+		st := NewState(n)
+		if err := st.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		psi := sim.NewState(n)
+		if err := psi.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			xs := make([]bool, n)
+			zs := make([]bool, n)
+			for q := 0; q < n; q++ {
+				xs[q] = st.getX(i, q)
+				zs[q] = st.getZ(i, q)
+			}
+			exp := pauliExpectation(t, psi, xs, zs, st.r[i])
+			if math.Abs(exp-1) > 1e-9 {
+				t.Fatalf("trial %d generator %d: expectation %v (stabilizers %v)\ncircuit:\n%v",
+					trial, i, exp, st.Stabilizers(), c)
+			}
+		}
+	}
+}
+
+// TestCliffordUGates verifies the u-gate recognition against statevector.
+func TestCliffordUGates(t *testing.T) {
+	pi := math.Pi
+	cases := []*circuit.Circuit{
+		circuit.New(1).U1(pi/2, 0),
+		circuit.New(1).U1(-pi/2, 0),
+		circuit.New(1).U1(pi, 0),
+		circuit.New(1).U2(0, pi, 0), // H
+		circuit.New(1).U2(pi/2, pi/2, 0),
+		circuit.New(1).U3(pi, 0, pi, 0), // X
+		circuit.New(1).U3(pi/2, -pi/2, pi/2, 0),
+		circuit.New(1).U3(pi, pi/2, pi/2, 0), // Y
+	}
+	for ci, c := range cases {
+		full := circuit.New(2)
+		full.H(0).CX(0, 1) // entangle so phases matter
+		full.AppendCircuit(c)
+		st := NewState(2)
+		if err := st.ApplyCircuit(full); err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		psi := sim.NewState(2)
+		if err := psi.ApplyCircuit(full); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			xs, zs := []bool{st.getX(i, 0), st.getX(i, 1)}, []bool{st.getZ(i, 0), st.getZ(i, 1)}
+			if exp := pauliExpectation(t, psi, xs, zs, st.r[i]); math.Abs(exp-1) > 1e-9 {
+				t.Fatalf("case %d generator %d: expectation %v", ci, i, exp)
+			}
+		}
+	}
+}
+
+func TestNonCliffordRejected(t *testing.T) {
+	s := NewState(1)
+	if err := s.ApplyGate(circuit.NewGate(circuit.T, []int{0})); err == nil {
+		t.Error("T should be rejected")
+	}
+	if err := s.ApplyGate(circuit.NewGate(circuit.U1, []int{0}, math.Pi/4)); err == nil {
+		t.Error("u1(pi/4) should be rejected")
+	}
+	c := circuit.New(1)
+	c.T(0)
+	if IsClifford(c) {
+		t.Error("IsClifford accepted T")
+	}
+	c2 := circuit.New(2)
+	c2.H(0).CX(0, 1).S(1)
+	if !IsClifford(c2) {
+		t.Error("IsClifford rejected a Clifford circuit")
+	}
+}
+
+// TestCliffordEquivalenceAfterLowering checks that lowering a Clifford
+// circuit to the IBM basis preserves the stabilizer state at a size the
+// statevector could not check cheaply.
+func TestCliffordEquivalenceAfterLowering(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randomClifford(rng, 20, 200)
+	lowered, err := decompose.LowerToBasis(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewState(20)
+	if err := a.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	b := NewState(20)
+	if err := b.ApplyCircuit(lowered); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("lowering changed a 20-qubit Clifford circuit")
+	}
+}
+
+func randomClifford(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.S(rng.Intn(n))
+		case 2:
+			c.X(rng.Intn(n))
+		case 3:
+			c.Z(rng.Intn(n))
+		case 4:
+			p := rng.Perm(n)
+			c.CX(p[0], p[1])
+		default:
+			p := rng.Perm(n)
+			c.CZ(p[0], p[1])
+		}
+	}
+	return c
+}

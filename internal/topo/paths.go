@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Distances returns BFS hop distances from src to every qubit.
+// Unreachable qubits get distance -1.
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[q] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[q] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDistances returns the full hop-distance matrix. For the 20-qubit
+// devices in this repo this is a trivial 20 BFS sweep; passes cache it.
+func (g *Graph) AllPairsDistances() [][]int {
+	d := make([][]int, g.n)
+	for i := 0; i < g.n; i++ {
+		d[i] = g.Distances(i)
+	}
+	return d
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive of both),
+// breaking ties deterministically by lowest qubit index. Returns nil if dst
+// is unreachable.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	return g.ShortestPathTieBreak(src, dst, nil)
+}
+
+// ShortestPathTieBreak returns one shortest path from src to dst. When
+// several predecessors give the same distance, prefer is consulted to choose
+// among candidate next hops (it receives the candidate list and returns the
+// chosen index); a nil prefer picks the lowest qubit index. This hook lets
+// the stochastic router sample uniformly among shortest paths with a seeded
+// RNG while keeping the default deterministic.
+func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int) int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	distTo := g.Distances(dst)
+	if distTo[src] < 0 {
+		return nil
+	}
+	path := make([]int, 0, distTo[src]+1)
+	path = append(path, src)
+	cur := src
+	cands := make([]int, 0, 4)
+	for cur != dst {
+		cands = cands[:0]
+		for _, nb := range g.adj[cur] {
+			if distTo[nb] == distTo[cur]-1 {
+				cands = append(cands, nb)
+			}
+		}
+		next := cands[0]
+		if prefer != nil && len(cands) > 1 {
+			next = cands[prefer(cands)]
+		} else {
+			for _, c := range cands[1:] {
+				if c < next {
+					next = c
+				}
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// WeightedPath computes a minimum-weight path from src to dst using Dijkstra
+// over per-edge weights supplied by weight(a, b). It backs the noise-aware
+// routing mode, where an edge's weight is -log of its CNOT success rate so
+// that the path weight is -log of the path's success probability.
+// Returns nil if dst is unreachable.
+func (g *Graph) WeightedPath(src, dst int, weight func(a, b int) float64) []int {
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &pairHeap{{q: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pair)
+		if done[it.q] {
+			continue
+		}
+		done[it.q] = true
+		if it.q == dst {
+			break
+		}
+		for _, nb := range g.adj[it.q] {
+			w := weight(it.q, nb)
+			if w < 0 {
+				w = 0
+			}
+			if nd := dist[it.q] + w; nd < dist[nb] {
+				dist[nb] = nd
+				prev[nb] = it.q
+				heap.Push(pq, pair{q: nb, d: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	// Reconstruct.
+	var rev []int
+	for q := dst; q != -1; q = prev[q] {
+		rev = append(rev, q)
+	}
+	path := make([]int, len(rev))
+	for i, q := range rev {
+		path[len(rev)-1-i] = q
+	}
+	return path
+}
+
+type pair struct {
+	q int
+	d float64
+}
+
+type pairHeap []pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
