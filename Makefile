@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race bench lint vet fmt fmt-check bench-json
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent compilation engine and the routers it drives.
+race:
+	$(GO) test -race ./internal/compiler/... ./internal/route/...
+
+# Bench smoke: run every benchmark exactly once in short mode so the
+# compile-path benchmarks cannot silently rot. Not a timing run.
+bench:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# Emit the machine-readable compile-path benchmark for the perf trajectory.
+bench-json:
+	$(GO) run ./cmd/experiments -bench-json BENCH_compile.json
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check

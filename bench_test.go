@@ -17,6 +17,16 @@ import (
 
 const benchSeed = 2021
 
+// skipInShort guards the simulation-heavy figure benchmarks so the CI
+// bench smoke step (`go test -short -bench . -benchtime 1x`) exercises the
+// compile-path benchmarks without paying for noisy-sim shot sampling.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping simulation-heavy benchmark in -short mode")
+	}
+}
+
 // BenchmarkTable1 regenerates the benchmark inventory: generating all
 // eleven workloads and tabulating their Table-1 counts.
 func BenchmarkTable1(b *testing.B) {
@@ -81,6 +91,7 @@ func toffoliExperiment(b *testing.B, triplets int) []experiments.TripletResult {
 // Reports the geomean success of the baseline and Trios(8-CNOT) columns
 // (paper: 41% -> 50%, a 23% improvement).
 func BenchmarkFig6(b *testing.B) {
+	skipInShort(b)
 	var rs []experiments.TripletResult
 	for i := 0; i < b.N; i++ {
 		rs = toffoliExperiment(b, 35)
@@ -92,6 +103,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the Toffoli gate-count experiment and reports
 // geomean compiled CNOTs (paper: 29 baseline -> 19 Trios, a 35% reduction).
 func BenchmarkFig7(b *testing.B) {
+	skipInShort(b)
 	var rs []experiments.TripletResult
 	for i := 0; i < b.N; i++ {
 		rs = toffoliExperiment(b, 35)
@@ -103,6 +115,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates the 99-triplet normalized-success experiment and
 // reports the geomean Trios/baseline ratio (paper: 1.23x).
 func BenchmarkFig8(b *testing.B) {
+	skipInShort(b)
 	var rs []experiments.TripletResult
 	for i := 0; i < b.N; i++ {
 		rs = toffoliExperiment(b, 99)
@@ -130,6 +143,7 @@ func benchmarkSweep(b *testing.B) []experiments.BenchResult {
 // 4 topologies x 2 pipelines) and reports the Johannesburg geomean success
 // pair (paper: 2.2% -> 9.8%).
 func BenchmarkFig9(b *testing.B) {
+	skipInShort(b)
 	var rs []experiments.BenchResult
 	for i := 0; i < b.N; i++ {
 		rs = benchmarkSweep(b)
@@ -143,6 +157,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 reports the geomean two-qubit gate-count reduction per
 // topology (paper: ibmq 37%, grid 36%, line 48%, clusters 26%).
 func BenchmarkFig10(b *testing.B) {
+	skipInShort(b)
 	var rs []experiments.BenchResult
 	for i := 0; i < b.N; i++ {
 		rs = benchmarkSweep(b)
@@ -160,6 +175,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 reports the geomean success ratio per topology
 // (paper: ibmq 4.4x, grid 3.7x, line 31x, clusters 2.3x).
 func BenchmarkFig11(b *testing.B) {
+	skipInShort(b)
 	var rs []experiments.BenchResult
 	for i := 0; i < b.N; i++ {
 		rs = benchmarkSweep(b)
@@ -174,6 +190,7 @@ func BenchmarkFig11(b *testing.B) {
 // the ratio at current error rates and at the 20x setting for one deep
 // benchmark (the paper's curves decay exponentially with improvement).
 func BenchmarkFig12(b *testing.B) {
+	skipInShort(b)
 	base := noise.Johannesburg0819()
 	base.ReadoutError = 0
 	base.Coherence = noise.CoherencePerQubit

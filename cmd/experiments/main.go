@@ -1,11 +1,16 @@
 // Command experiments regenerates the paper's tables and figures.
 //
+// Compilation-heavy experiments fan out across a worker pool; -workers
+// caps the parallelism (default: GOMAXPROCS). Results are identical for
+// any worker count.
+//
 // Usage:
 //
 //	experiments -exp all
-//	experiments -exp table1
+//	experiments -exp table1 -workers 8
 //	experiments -exp fig1,fig6,fig7,fig8,fig9,fig10,fig11,fig12
 //	experiments -triplets 35 -shots 8192 -seed 2021
+//	experiments -bench-json BENCH_compile.json
 package main
 
 import (
@@ -21,13 +26,44 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, or all")
-		triplets = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
-		shots    = flag.Int("shots", 8192, "shots per Toffoli configuration")
-		seed     = flag.Int64("seed", 2021, "random seed")
-		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, or all")
+		triplets  = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
+		shots     = flag.Int("shots", 8192, "shots per Toffoli configuration")
+		seed      = flag.Int64("seed", 2021, "random seed")
+		jsonPath  = flag.String("json", "", "also write all results as JSON to this file")
+		workers   = flag.Int("workers", 0, "parallel compilation workers (0 = GOMAXPROCS)")
+		benchJSON = flag.String("bench-json", "", "run only the compile-path benchmark and write its JSON report here (e.g. BENCH_compile.json)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
+
+	if *benchJSON != "" {
+		report, err := experiments.RunCompileBench(*workers, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !report.Deterministic {
+			fmt.Fprintln(os.Stderr, "compile bench: serial and parallel drains diverged")
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d jobs, %.2fx parallel speedup with %d workers)\n",
+			*benchJSON, report.Runs[0].Jobs, report.Speedup, report.Runs[1].Workers)
+		return
+	}
 
 	if *jsonPath != "" {
 		report, err := experiments.BuildReport(*triplets, *shots, *seed)

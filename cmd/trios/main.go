@@ -1,15 +1,18 @@
 // Command trios compiles OpenQASM 2.0 programs for a target device with
 // either the conventional (decompose-first) pipeline or the Orchestrated
 // Trios pipeline, and reports the compiled statistics the paper evaluates.
+// When several pipelines are requested (-pipeline both/all) they compile
+// concurrently through the batch engine; -workers caps the parallelism.
 //
 // Usage:
 //
 //	trios -in program.qasm -topology johannesburg -pipeline trios -out compiled.qasm
 //	trios -benchmark grovers-9 -topology line -pipeline both -stats
-//	trios -benchmark cuccaro_adder-20 -pipeline both -model 20x
+//	trios -benchmark cuccaro_adder-20 -pipeline both -model 20x -workers 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +53,7 @@ func run() error {
 		draw       = flag.Bool("draw", false, "print an ASCII diagram of the compiled circuit")
 		verify     = flag.Bool("verify", false, "verify the compiled circuit against the source (stabilizer sim for Clifford circuits, statevector for small devices, basis-state spot checks otherwise)")
 		model      = flag.String("model", "", "also estimate success probability: 'current' or '<N>x' improvement")
+		workers    = flag.Int("workers", 0, "parallel compilation workers when several pipelines run (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -131,11 +135,24 @@ func run() error {
 		noiseModel = &m
 	}
 
-	for _, pipe := range pipes {
-		opts.Pipeline = pipe
-		res, err := compiler.Compile(input, g, opts)
-		if err != nil {
-			return fmt.Errorf("%v pipeline: %w", pipe, err)
+	// Compile every requested pipeline through the batch engine, then report
+	// in pipeline order (the worker pool changes nothing about the results).
+	jobs := make([]compiler.Job, len(pipes))
+	for i, pipe := range pipes {
+		o := opts
+		o.Pipeline = pipe
+		jobs[i] = compiler.Job{ID: pipe.String(), Input: input, Graph: g, Opts: o}
+	}
+	batch := &compiler.Batch{Workers: *workers}
+	batchResults, err := batch.Run(context.Background(), jobs)
+	if err != nil {
+		return err
+	}
+
+	for i, pipe := range pipes {
+		res, jobErr := batchResults[i].Result, batchResults[i].Err
+		if jobErr != nil {
+			return fmt.Errorf("%v pipeline: %w", pipe, jobErr)
 		}
 		if err := res.Verify(); err != nil {
 			return err

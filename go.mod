@@ -1,0 +1,3 @@
+module trios
+
+go 1.24

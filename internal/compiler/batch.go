@@ -1,0 +1,244 @@
+package compiler
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+	"trios/internal/topo"
+)
+
+// Job is one compilation in a batch: an input circuit, a target device, and
+// a pipeline configuration. The experiment suites fan (benchmark x device x
+// pipeline x seed) grids out as job lists.
+type Job struct {
+	// ID labels the job in results and error messages (optional).
+	ID string
+	// Input must not be mutated while the batch runs; jobs may share it, and
+	// sharing is what activates the front-pass deduplication cache.
+	Input *circuit.Circuit
+	Graph *topo.Graph
+	Opts  Options
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Result and Err is
+// non-nil for jobs that were reached; jobs skipped by cancellation carry the
+// context's error.
+type JobResult struct {
+	Job     Job
+	Index   int
+	Result  *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Batch is a parallel compilation engine: a fixed worker pool that drains a
+// job list, deduplicating the device-independent front passes (input
+// optimization + first decomposition) across jobs that share an input
+// circuit and pipeline configuration. The zero value is ready to use.
+type Batch struct {
+	// Workers caps concurrent compilations; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (b *Batch) workers(jobs int) int {
+	w := b.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Stream launches the worker pool over jobs and returns a channel delivering
+// results in completion order. The channel closes once every reached job has
+// been delivered; cancelling ctx stops the feed, so unreached jobs simply
+// never appear. Use Run for ordered collection.
+func (b *Batch) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
+	out := make(chan JobResult)
+	idx := make(chan int)
+	cache := newFrontCache()
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				jr := JobResult{Job: jobs[i], Index: i}
+				if err := ctx.Err(); err != nil {
+					jr.Err = err
+				} else {
+					start := time.Now()
+					jr.Result, jr.Err = compileJob(cache, jobs[i])
+					jr.Elapsed = time.Since(start)
+				}
+				select {
+				case out <- jr:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run compiles every job and returns the results in job order. Jobs that
+// fail carry their error in JobResult.Err; Run itself errors only when ctx
+// is cancelled before the batch drains, in which case unreached jobs carry
+// the context's error. The result set is deterministic in the worker count:
+// every job's output depends only on its own Options.
+func (b *Batch) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	results := make([]JobResult, len(jobs))
+	for i := range results {
+		results[i] = JobResult{Job: jobs[i], Index: i}
+	}
+	for jr := range b.Stream(ctx, jobs) {
+		results[jr.Index] = jr
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// Results unwraps a completed batch into compiled results in job order,
+// returning the first job error encountered.
+func Results(rs []JobResult) ([]*Result, error) {
+	out := make([]*Result, len(rs))
+	for i, jr := range rs {
+		if jr.Err != nil {
+			if jr.Job.ID != "" {
+				return nil, fmt.Errorf("compiler: job %s: %w", jr.Job.ID, jr.Err)
+			}
+			return nil, fmt.Errorf("compiler: job %d: %w", jr.Index, jr.Err)
+		}
+		out[i] = jr.Result
+	}
+	return out, nil
+}
+
+// compileJob compiles one job, reusing the batch's front cache. The
+// device-capacity check runs before the front so oversized jobs fail with
+// the same error as a direct Compile, without paying for (or caching) a
+// decomposition that can never route.
+func compileJob(cache *frontCache, j Job) (*Result, error) {
+	if err := checkFits(j.Input, j.Graph); err != nil {
+		return nil, err
+	}
+	prepared, metrics, cached, err := cache.get(j.Input, j.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if cached {
+		// Copy the shared metrics and mark them, so per-pass aggregation
+		// can attribute each front computation exactly once.
+		marked := make([]PassMetric, len(metrics))
+		for i, m := range metrics {
+			m.Cached = true
+			marked[i] = m
+		}
+		metrics = marked
+	}
+	return compileFrom(j.Input, prepared, metrics, j.Graph, j.Opts)
+}
+
+// frontKey identifies a front-pass computation: its output depends only on
+// the input circuit identity, the pipeline kind, the (normalized) Toffoli
+// mode, and the Optimize flag.
+type frontKey struct {
+	input    *circuit.Circuit
+	pipeline Pipeline
+	mode     decompose.ToffoliMode
+	optimize bool
+}
+
+// frontMode normalizes Options.Mode to the value that actually shapes the
+// front passes, so jobs whose fronts are identical share one cache entry:
+// the Trios and Groups fronts ignore the mode entirely, and the Conventional
+// front treats Auto as Six.
+func frontMode(opts Options) decompose.ToffoliMode {
+	switch opts.Pipeline {
+	case Conventional:
+		if opts.Mode == decompose.Auto {
+			return decompose.Six
+		}
+		return opts.Mode
+	case TriosPipeline:
+		switch opts.Mode {
+		case decompose.Auto, decompose.Six, decompose.Eight:
+			return decompose.Auto
+		}
+		// Invalid modes keep their own entry so their error does not poison
+		// valid jobs sharing the input.
+		return opts.Mode
+	default:
+		return decompose.Auto
+	}
+}
+
+// frontCache memoizes PrepareFront outputs per frontKey. Entries are filled
+// once; concurrent jobs needing the same front block on the filling job
+// instead of recomputing.
+type frontCache struct {
+	mu sync.Mutex
+	m  map[frontKey]*frontEntry
+}
+
+type frontEntry struct {
+	once    sync.Once
+	c       *circuit.Circuit
+	metrics []PassMetric
+	err     error
+}
+
+func newFrontCache() *frontCache {
+	return &frontCache{m: make(map[frontKey]*frontEntry)}
+}
+
+// get returns the memoized front output for (input, opts); cached reports
+// whether this call reused an entry another job computed.
+func (fc *frontCache) get(input *circuit.Circuit, opts Options) (c *circuit.Circuit, metrics []PassMetric, cached bool, err error) {
+	key := frontKey{input: input, pipeline: opts.Pipeline, mode: frontMode(opts), optimize: opts.Optimize}
+	fc.mu.Lock()
+	e := fc.m[key]
+	if e == nil {
+		e = &frontEntry{}
+		fc.m[key] = e
+	}
+	fc.mu.Unlock()
+	filled := false
+	e.once.Do(func() {
+		e.c, e.metrics, e.err = PrepareFront(input, opts)
+		filled = true
+	})
+	return e.c, e.metrics, !filled, e.err
+}

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"testing"
 
 	"trios/internal/benchmarks"
@@ -35,3 +36,40 @@ func benchCompile(b *testing.B, pipe Pipeline, router RouterKind) {
 func BenchmarkCompileGroverBaseline(b *testing.B)   { benchCompile(b, Conventional, RouteDirect) }
 func BenchmarkCompileGroverTrios(b *testing.B)      { benchCompile(b, TriosPipeline, RouteDirect) }
 func BenchmarkCompileGroverStochastic(b *testing.B) { benchCompile(b, Conventional, RouteStochastic) }
+
+// benchBatch drains a (benchmark x topology x pipeline x seed) grid through
+// the batch engine with the given worker count.
+func benchBatch(b *testing.B, workers int) {
+	b.Helper()
+	grover, err := benchmarks.Grover(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []Job
+	for _, g := range topo.PaperTopologies() {
+		for _, pipe := range []Pipeline{Conventional, TriosPipeline} {
+			for seed := int64(0); seed < 4; seed++ {
+				jobs = append(jobs, Job{
+					Input: grover, Graph: g,
+					Opts: Options{Pipeline: pipe, Placement: PlaceGreedy, Seed: seed},
+				})
+			}
+		}
+	}
+	engine := &Batch{Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := engine.Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Results(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
+}
+
+func BenchmarkBatchGroverSerial(b *testing.B)   { benchBatch(b, 1) }
+func BenchmarkBatchGroverParallel(b *testing.B) { benchBatch(b, 0) }

@@ -5,6 +5,11 @@
 //     map and route pairs (the Qiskit-like baseline).
 //   - Trios: decompose down to Toffolis, map and route trios as units, then
 //     run the mapping-aware second decomposition.
+//
+// Both pipelines are expressed as pass lists run by the PassManager engine
+// (passmgr.go), which instruments every stage; the Batch engine (batch.go)
+// fans whole (benchmark x device x pipeline x seed) job sets across a worker
+// pool with a keyed cache that deduplicates repeated decompositions.
 package compiler
 
 import (
@@ -14,7 +19,6 @@ import (
 	"trios/internal/circuit"
 	"trios/internal/decompose"
 	"trios/internal/layout"
-	"trios/internal/optimize"
 	"trios/internal/route"
 	"trios/internal/topo"
 )
@@ -129,6 +133,13 @@ type Result struct {
 	// SwapsAdded counts routing SWAPs before their 3-CX expansion.
 	SwapsAdded int
 	Graph      *topo.Graph
+	// Passes records per-pass wall-clock and gate-count metrics for the
+	// pipeline that produced this result. Cached front passes contribute
+	// the metrics of the run that populated the cache.
+	Passes []PassMetric
+	// ScheduledDuration is non-zero when the pipeline included a Schedule
+	// pass: the ASAP duration of the compiled circuit.
+	ScheduledDuration float64
 }
 
 // TwoQubitGates returns the compiled two-qubit gate count, the paper's
@@ -136,42 +147,10 @@ type Result struct {
 func (r *Result) TwoQubitGates() int { return r.Physical.TwoQubitCount() }
 
 // Compile runs the selected pipeline on the input circuit for the device.
+// The pipeline is assembled from named passes (see passmgr.go) and every
+// stage's wall-clock and gate-count deltas land in Result.Passes.
 func Compile(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
-	if input.NumQubits > g.NumQubits() {
-		return nil, fmt.Errorf("compiler: circuit needs %d qubits, device %s has %d", input.NumQubits, g.Name(), g.NumQubits())
-	}
-	if err := input.Validate(); err != nil {
-		return nil, err
-	}
-	source := input
-	if opts.Optimize {
-		source = optimize.CancelCommuting(input)
-	}
-	var res *Result
-	var err error
-	switch opts.Pipeline {
-	case Conventional:
-		res, err = compileConventional(source, g, opts)
-	case TriosPipeline:
-		res, err = compileTrios(source, g, opts)
-	case GroupsPipeline:
-		res, err = compileGroups(source, g, opts)
-	default:
-		return nil, fmt.Errorf("compiler: unknown pipeline %d", int(opts.Pipeline))
-	}
-	if err != nil {
-		return nil, err
-	}
-	res.Input = input
-	if opts.Optimize {
-		cleaned := optimize.CancelCommuting(res.Physical)
-		consolidated, err := optimize.Consolidate1Q(cleaned)
-		if err != nil {
-			return nil, err
-		}
-		res.Physical = consolidated
-	}
-	return res, nil
+	return compileFrom(input, nil, nil, g, opts)
 }
 
 func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options) (*layout.Layout, error) {
@@ -231,162 +210,6 @@ func pickRouter(opts Options, trioAware bool) (route.Router, error) {
 		return &route.Lookahead{Seed: opts.Seed, TrioAware: trioAware}, nil
 	}
 	return nil, fmt.Errorf("compiler: unknown router kind %d", int(opts.Router))
-}
-
-func compileConventional(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
-	mode := opts.Mode
-	if mode == decompose.Auto {
-		mode = decompose.Six // Qiskit's default Toffoli expansion
-	}
-	decomposed, err := decompose.ToffoliAll(input, mode)
-	if err != nil {
-		return nil, err
-	}
-	init, err := initialLayout(decomposed, g, opts)
-	if err != nil {
-		return nil, err
-	}
-	router, err := pickRouter(opts, false)
-	if err != nil {
-		return nil, err
-	}
-	routed, err := router.Route(decomposed, g, init)
-	if err != nil {
-		return nil, err
-	}
-	physical, err := decompose.LowerToBasis(routed.Circuit)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Input:      input,
-		Physical:   physical,
-		Initial:    init.VirtualToPhys(),
-		Final:      routed.Final.VirtualToPhys(),
-		SwapsAdded: routed.SwapsAdded,
-		Graph:      g,
-	}, nil
-}
-
-func compileTrios(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
-	kept, err := decompose.KeepToffoli(input)
-	if err != nil {
-		return nil, err
-	}
-	init, err := initialLayout(kept, g, opts)
-	if err != nil {
-		return nil, err
-	}
-	router, err := pickRouter(opts, true)
-	if err != nil {
-		return nil, err
-	}
-	routed, err := router.Route(kept, g, init)
-	if err != nil {
-		return nil, err
-	}
-	mode := opts.Mode
-	if mode == decompose.Six {
-		// Forced 6-CNOT: decompose, then patch non-adjacent CNOTs with a
-		// fixup routing pass whose layout starts at identity over physical
-		// positions.
-		second, err := decompose.MappingAware(routed.Circuit, g, decompose.Six)
-		if err != nil {
-			return nil, err
-		}
-		fixRouter := &route.Baseline{Seed: opts.Seed + 1, Weight: opts.NoiseWeight}
-		fixed, err := fixRouter.Route(second, g, layout.Identity(g.NumQubits()))
-		if err != nil {
-			return nil, err
-		}
-		physical, err := decompose.LowerToBasis(fixed.Circuit)
-		if err != nil {
-			return nil, err
-		}
-		// Compose final placements: v -> trios-final -> fixup-final.
-		final := make([]int, g.NumQubits())
-		for v := 0; v < g.NumQubits(); v++ {
-			final[v] = fixed.Final.Phys(routed.Final.Phys(v))
-		}
-		return &Result{
-			Input:      input,
-			Physical:   physical,
-			Initial:    init.VirtualToPhys(),
-			Final:      final,
-			SwapsAdded: routed.SwapsAdded + fixed.SwapsAdded,
-			Graph:      g,
-		}, nil
-	}
-	if mode == decompose.Auto || mode == decompose.Eight {
-		second, err := decompose.MappingAware(routed.Circuit, g, mode)
-		if err != nil {
-			return nil, err
-		}
-		physical, err := decompose.LowerToBasis(second)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			Input:      input,
-			Physical:   physical,
-			Initial:    init.VirtualToPhys(),
-			Final:      routed.Final.VirtualToPhys(),
-			SwapsAdded: routed.SwapsAdded,
-			Graph:      g,
-		}, nil
-	}
-	return nil, fmt.Errorf("compiler: unsupported toffoli mode %v", opts.Mode)
-}
-
-// compileGroups implements the experimental any-arity pipeline: keep CCX and
-// MCX intact, route groups, expand MCX in place borrowing nearby wires, then
-// finish with the Trios machinery (second routing pass for the expansion's
-// stray pairs/trios, mapping-aware decomposition, lowering).
-func compileGroups(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
-	kept, err := decompose.KeepMultiQubit(input)
-	if err != nil {
-		return nil, err
-	}
-	init, err := initialLayout(kept, g, opts)
-	if err != nil {
-		return nil, err
-	}
-	grouper := &route.Groups{Seed: opts.Seed}
-	routed, err := grouper.Route(kept, g, init)
-	if err != nil {
-		return nil, err
-	}
-	expanded, err := decompose.ExpandMCXNearby(routed.Circuit, g)
-	if err != nil {
-		return nil, err
-	}
-	// Fixup: the expansion's Toffolis sit near their group but are not
-	// guaranteed adjacent; a Trios pass over physical qubits patches them.
-	fixRouter := &route.Trios{Seed: opts.Seed + 1}
-	fixed, err := fixRouter.Route(expanded, g, layout.Identity(g.NumQubits()))
-	if err != nil {
-		return nil, err
-	}
-	second, err := decompose.MappingAware(fixed.Circuit, g, decompose.Auto)
-	if err != nil {
-		return nil, err
-	}
-	physical, err := decompose.LowerToBasis(second)
-	if err != nil {
-		return nil, err
-	}
-	final := make([]int, g.NumQubits())
-	for v := 0; v < g.NumQubits(); v++ {
-		final[v] = fixed.Final.Phys(routed.Final.Phys(v))
-	}
-	return &Result{
-		Input:      input,
-		Physical:   physical,
-		Initial:    init.VirtualToPhys(),
-		Final:      final,
-		SwapsAdded: routed.SwapsAdded + fixed.SwapsAdded,
-		Graph:      g,
-	}, nil
 }
 
 // Verify checks that a compiled result respects the device coupling graph:

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"trios/internal/circuit"
@@ -18,27 +19,46 @@ import (
 // one so the ensemble actually explores distinct mappings (matching the
 // cited technique); attempt 0 keeps the caller's placement so CompileBest
 // never does worse than Compile.
+//
+// The attempts fan out across the batch engine's worker pool (they share
+// one front-pass decomposition) and the winner is selected in attempt
+// order, so the result is identical to a serial sweep. Use CompileBestWith
+// to bound the parallelism.
 func CompileBest(input *circuit.Circuit, g *topo.Graph, opts Options, attempts int, cost func(*Result) float64) (*Result, error) {
+	return CompileBestWith(new(Batch), input, g, opts, attempts, cost)
+}
+
+// CompileBestWith is CompileBest running on the caller's batch engine, for
+// callers that need to cap the ensemble's parallelism — e.g. when nesting
+// compilation inside their own worker pool.
+func CompileBestWith(b *Batch, input *circuit.Circuit, g *topo.Graph, opts Options, attempts int, cost func(*Result) float64) (*Result, error) {
 	if attempts < 1 {
 		return nil, fmt.Errorf("compiler: attempts must be >= 1, got %d", attempts)
 	}
 	if cost == nil {
 		cost = func(r *Result) float64 { return float64(r.TwoQubitGates()) }
 	}
-	var best *Result
-	bestCost := 0.0
-	for i := 0; i < attempts; i++ {
+	jobs := make([]Job, attempts)
+	for i := range jobs {
 		o := opts
 		o.Seed = opts.Seed + int64(i)*7919 // decorrelate attempts
 		if i > 0 && o.InitialLayout == nil {
 			o.Placement = PlaceRandom
 		}
-		res, err := Compile(input, g, o)
-		if err != nil {
-			return nil, fmt.Errorf("compiler: ensemble attempt %d: %w", i, err)
+		jobs[i] = Job{ID: fmt.Sprintf("ensemble-%d", i), Input: input, Graph: g, Opts: o}
+	}
+	results, err := b.Run(context.Background(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	bestCost := 0.0
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("compiler: ensemble attempt %d: %w", i, jr.Err)
 		}
-		if c := cost(res); best == nil || c < bestCost {
-			best, bestCost = res, c
+		if c := cost(jr.Result); best == nil || c < bestCost {
+			best, bestCost = jr.Result, c
 		}
 	}
 	return best, nil

@@ -1,0 +1,493 @@
+// Pass-manager engine: the two pipeline shapes of compiler.go are expressed
+// as ordered lists of named, instrumented passes over a shared PassContext.
+// Composition replaces the former hard-coded pipeline functions, so new
+// pipeline variants are assembled from the same pass vocabulary (decompose,
+// layout, route, optimize, schedule, stats) instead of new monoliths, and
+// every compilation records per-pass wall-clock and gate-count metrics.
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"trios/internal/circuit"
+	"trios/internal/decompose"
+	"trios/internal/layout"
+	"trios/internal/optimize"
+	"trios/internal/route"
+	"trios/internal/sched"
+	"trios/internal/topo"
+)
+
+// PassContext carries one compilation through a pass pipeline: the working
+// circuit, the device graph, the mapping bookkeeping that routing passes
+// maintain, and the per-pass metrics the manager accumulates.
+type PassContext struct {
+	// Graph is the target coupling graph. It is read-only and may be shared
+	// across concurrent compilations.
+	Graph *topo.Graph
+	// Opts is the configuration the pipeline was built from.
+	Opts Options
+	// Circuit is the working circuit; passes replace it as they transform
+	// the program. Passes must treat the incoming circuit as immutable (it
+	// may be shared with concurrent compilations via the batch front cache).
+	Circuit *circuit.Circuit
+	// Init is the initial virtual->physical placement, set by the layout
+	// pass; Final tracks the placement after routing SWAPs.
+	Init  *layout.Layout
+	Final *layout.Layout
+	// SwapsAdded accumulates routing SWAPs (before 3-CX expansion).
+	SwapsAdded int
+	// Metrics collects one entry per executed pass.
+	Metrics []PassMetric
+	// ScheduledDuration is filled by the optional Schedule pass: the ASAP
+	// duration of the compiled circuit under a gate-time model.
+	ScheduledDuration float64
+}
+
+// PassMetric records what one pass did: wall-clock cost and the circuit's
+// size before and after, so pipeline hot spots and gate-count trajectories
+// are observable without re-instrumenting callers.
+type PassMetric struct {
+	Pass           string        `json:"pass"`
+	Duration       time.Duration `json:"duration_ns"`
+	GatesBefore    int           `json:"gates_before"`
+	GatesAfter     int           `json:"gates_after"`
+	TwoQubitBefore int           `json:"two_qubit_before"`
+	TwoQubitAfter  int           `json:"two_qubit_after"`
+	// Cached marks a front-pass metric reused from the batch engine's
+	// deduplication cache: the pass did not run for this compilation, so
+	// aggregations should count cached entries zero times (the job that
+	// populated the cache carries the uncached metric).
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Pass is one named stage of a compilation pipeline. Run reads the current
+// circuit c (identical to ctx.Circuit) and stores its transformed output and
+// any mapping-state updates back into ctx.
+type Pass interface {
+	Name() string
+	Run(ctx *PassContext, c *circuit.Circuit) error
+}
+
+// passFunc adapts a function to the Pass interface.
+type passFunc struct {
+	name string
+	fn   func(ctx *PassContext, c *circuit.Circuit) error
+}
+
+func (p passFunc) Name() string { return p.name }
+
+func (p passFunc) Run(ctx *PassContext, c *circuit.Circuit) error { return p.fn(ctx, c) }
+
+// NewPass wraps a function as a named Pass.
+func NewPass(name string, fn func(ctx *PassContext, c *circuit.Circuit) error) Pass {
+	return passFunc{name: name, fn: fn}
+}
+
+// PassManager runs an ordered list of passes over a PassContext, timing each
+// one and recording circuit-size deltas.
+type PassManager struct {
+	label  string
+	passes []Pass
+}
+
+// NewPassManager builds a manager from a pass list. The label names the
+// pipeline in error messages.
+func NewPassManager(label string, passes ...Pass) *PassManager {
+	return &PassManager{label: label, passes: passes}
+}
+
+// Passes returns the manager's pass list (for inspection and composition).
+func (pm *PassManager) Passes() []Pass { return pm.passes }
+
+// Run executes every pass in order, appending one PassMetric per pass to
+// ctx.Metrics. The first failing pass aborts the pipeline.
+func (pm *PassManager) Run(ctx *PassContext) error {
+	for _, p := range pm.passes {
+		before := ctx.Circuit.CollectStats()
+		start := time.Now()
+		if err := p.Run(ctx, ctx.Circuit); err != nil {
+			return fmt.Errorf("compiler: %s pipeline, pass %s: %w", pm.label, p.Name(), err)
+		}
+		after := ctx.Circuit.CollectStats()
+		ctx.Metrics = append(ctx.Metrics, PassMetric{
+			Pass:           p.Name(),
+			Duration:       time.Since(start),
+			GatesBefore:    before.Total,
+			GatesAfter:     after.Total,
+			TwoQubitBefore: before.TwoQubit,
+			TwoQubitAfter:  after.TwoQubit,
+		})
+	}
+	return nil
+}
+
+// ---- Decompose passes ----
+
+// DecomposeToffoliAll lowers every Toffoli-class gate up front with the given
+// mode — the conventional pipeline's first stage.
+func DecomposeToffoliAll(mode decompose.ToffoliMode) Pass {
+	return NewPass(fmt.Sprintf("decompose:toffoli-all(%v)", mode), func(ctx *PassContext, c *circuit.Circuit) error {
+		out, err := decompose.ToffoliAll(c, mode)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// DecomposeKeepToffoli lowers everything except Toffolis, which stay intact
+// for trio-aware mapping and routing — the Trios pipeline's first stage.
+func DecomposeKeepToffoli() Pass {
+	return NewPass("decompose:keep-toffoli", func(ctx *PassContext, c *circuit.Circuit) error {
+		out, err := decompose.KeepToffoli(c)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// DecomposeKeepMultiQubit keeps any-arity multi-qubit gates intact for group
+// routing — the experimental Groups pipeline's first stage.
+func DecomposeKeepMultiQubit() Pass {
+	return NewPass("decompose:keep-multiqubit", func(ctx *PassContext, c *circuit.Circuit) error {
+		out, err := decompose.KeepMultiQubit(c)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// MappingAwarePass runs the second, placement-aware Toffoli decomposition.
+func MappingAwarePass(mode decompose.ToffoliMode) Pass {
+	return NewPass(fmt.Sprintf("decompose:mapping-aware(%v)", mode), func(ctx *PassContext, c *circuit.Circuit) error {
+		out, err := decompose.MappingAware(c, ctx.Graph, mode)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// ExpandMCXPass expands routed MCX gates in place, borrowing nearby wires.
+func ExpandMCXPass() Pass {
+	return NewPass("decompose:expand-mcx", func(ctx *PassContext, c *circuit.Circuit) error {
+		out, err := decompose.ExpandMCXNearby(c, ctx.Graph)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// LowerPass rewrites the circuit into the {u1,u2,u3,cx} basis.
+func LowerPass() Pass {
+	return NewPass("lower:basis", func(ctx *PassContext, c *circuit.Circuit) error {
+		out, err := decompose.LowerToBasis(c)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// ---- Layout pass ----
+
+// PlacePass computes the initial virtual->physical placement from
+// ctx.Opts (explicit layout, greedy, random, or identity) using the current
+// circuit's interaction structure, and seeds Final with a copy of it.
+func PlacePass() Pass {
+	return NewPass("layout:place", func(ctx *PassContext, c *circuit.Circuit) error {
+		init, err := initialLayout(c, ctx.Graph, ctx.Opts)
+		if err != nil {
+			return err
+		}
+		ctx.Init = init
+		ctx.Final = init.Copy()
+		return nil
+	})
+}
+
+// ---- Route passes ----
+
+// RoutePass runs the configured router from the placement chosen by
+// PlacePass; trioAware selects the Trios-capable router variants.
+func RoutePass(trioAware bool) Pass {
+	return NewPass("route:main", func(ctx *PassContext, c *circuit.Circuit) error {
+		router, err := pickRouter(ctx.Opts, trioAware)
+		if err != nil {
+			return err
+		}
+		routed, err := router.Route(c, ctx.Graph, ctx.Init)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = routed.Circuit
+		ctx.Final = routed.Final
+		ctx.SwapsAdded += routed.SwapsAdded
+		return nil
+	})
+}
+
+// GroupsRoutePass routes any-arity gate groups with the cluster router.
+func GroupsRoutePass() Pass {
+	return NewPass("route:groups", func(ctx *PassContext, c *circuit.Circuit) error {
+		grouper := &route.Groups{Seed: ctx.Opts.Seed}
+		routed, err := grouper.Route(c, ctx.Graph, ctx.Init)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = routed.Circuit
+		ctx.Final = routed.Final
+		ctx.SwapsAdded += routed.SwapsAdded
+		return nil
+	})
+}
+
+// FixupRoutePass patches gates a second decomposition left on non-adjacent
+// qubits: it routes the current circuit over physical positions (identity
+// layout), then composes the resulting movement into ctx.Final. The router
+// is seeded with Seed+1 to decorrelate it from the main routing pass.
+func FixupRoutePass(r func(opts Options) route.Router) Pass {
+	return NewPass("route:fixup", func(ctx *PassContext, c *circuit.Circuit) error {
+		fixed, err := r(ctx.Opts).Route(c, ctx.Graph, layout.Identity(ctx.Graph.NumQubits()))
+		if err != nil {
+			return err
+		}
+		// Compose placements: v -> main-route final -> fixup final.
+		n := ctx.Graph.NumQubits()
+		final := make([]int, n)
+		for v := 0; v < n; v++ {
+			final[v] = fixed.Final.Phys(ctx.Final.Phys(v))
+		}
+		composed, err := layout.FromVirtualToPhys(final)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = fixed.Circuit
+		ctx.Final = composed
+		ctx.SwapsAdded += fixed.SwapsAdded
+		return nil
+	})
+}
+
+// baselineFixupRouter is the Trios pipeline's fixup: a pairwise router that
+// patches the non-adjacent CNOTs a forced 6-CNOT decomposition leaves.
+func baselineFixupRouter(opts Options) route.Router {
+	return &route.Baseline{Seed: opts.Seed + 1, Weight: opts.NoiseWeight}
+}
+
+// triosFixupRouter is the Groups pipeline's fixup: a trio-aware router that
+// patches the stray pairs and Toffolis of an in-place MCX expansion.
+func triosFixupRouter(opts Options) route.Router {
+	return &route.Trios{Seed: opts.Seed + 1}
+}
+
+// ---- Optimize passes ----
+
+// OptimizeInputPass cancels commuting inverse pairs and merges rotations on
+// the source circuit before decomposition.
+func OptimizeInputPass() Pass {
+	return NewPass("optimize:input", func(ctx *PassContext, c *circuit.Circuit) error {
+		ctx.Circuit = optimize.CancelCommuting(c)
+		return nil
+	})
+}
+
+// OptimizeOutputPass re-runs cancellation on the compiled circuit (routing
+// can create adjacent inverse pairs) and consolidates 1-qubit runs.
+func OptimizeOutputPass() Pass {
+	return NewPass("optimize:output", func(ctx *PassContext, c *circuit.Circuit) error {
+		cleaned := optimize.CancelCommuting(c)
+		consolidated, err := optimize.Consolidate1Q(cleaned)
+		if err != nil {
+			return err
+		}
+		ctx.Circuit = consolidated
+		return nil
+	})
+}
+
+// ---- Schedule and stats passes ----
+
+// SchedulePass computes the compiled circuit's ASAP duration under a
+// gate-time model and records it in ctx.ScheduledDuration. It does not
+// modify the circuit, so it composes onto any pipeline without changing
+// its output; it is not part of the default pipelines.
+func SchedulePass(times sched.GateTimes) Pass {
+	return NewPass("schedule:asap", func(ctx *PassContext, c *circuit.Circuit) error {
+		d, err := sched.Duration(c, times)
+		if err != nil {
+			return err
+		}
+		ctx.ScheduledDuration = d
+		return nil
+	})
+}
+
+// StatsPass is a terminal no-op whose PassMetric snapshot records the final
+// circuit size, closing every pipeline's metric trail.
+func StatsPass() Pass {
+	return NewPass("stats", func(ctx *PassContext, c *circuit.Circuit) error {
+		return nil
+	})
+}
+
+// ---- Pipeline construction ----
+
+// FrontPasses returns the device-independent prefix of the pipeline for
+// opts: input optimization (when enabled) followed by the first
+// decomposition. Its output depends only on the input circuit, the pipeline
+// kind, the Toffoli mode, and the Optimize flag — never on the device graph,
+// placement, or seed — which is what lets the batch engine deduplicate it
+// across (device x seed x placement) fan-outs.
+func FrontPasses(opts Options) ([]Pass, error) {
+	var ps []Pass
+	if opts.Optimize {
+		ps = append(ps, OptimizeInputPass())
+	}
+	switch opts.Pipeline {
+	case Conventional:
+		mode := opts.Mode
+		if mode == decompose.Auto {
+			mode = decompose.Six // Qiskit's default Toffoli expansion
+		}
+		ps = append(ps, DecomposeToffoliAll(mode))
+	case TriosPipeline:
+		if opts.Mode != decompose.Auto && opts.Mode != decompose.Six && opts.Mode != decompose.Eight {
+			return nil, fmt.Errorf("compiler: unsupported toffoli mode %v", opts.Mode)
+		}
+		ps = append(ps, DecomposeKeepToffoli())
+	case GroupsPipeline:
+		ps = append(ps, DecomposeKeepMultiQubit())
+	default:
+		return nil, fmt.Errorf("compiler: unknown pipeline %d", int(opts.Pipeline))
+	}
+	return ps, nil
+}
+
+// BackPasses returns the device-dependent remainder of the pipeline for
+// opts: placement, routing, second decomposition, lowering, and output
+// optimization.
+func BackPasses(opts Options) ([]Pass, error) {
+	var ps []Pass
+	switch opts.Pipeline {
+	case Conventional:
+		ps = append(ps, PlacePass(), RoutePass(false), LowerPass())
+	case TriosPipeline:
+		ps = append(ps, PlacePass(), RoutePass(true))
+		switch opts.Mode {
+		case decompose.Six:
+			// Forced 6-CNOT: decompose, then patch non-adjacent CNOTs with a
+			// fixup routing pass over physical positions.
+			ps = append(ps, MappingAwarePass(decompose.Six), FixupRoutePass(baselineFixupRouter), LowerPass())
+		case decompose.Auto, decompose.Eight:
+			ps = append(ps, MappingAwarePass(opts.Mode), LowerPass())
+		default:
+			return nil, fmt.Errorf("compiler: unsupported toffoli mode %v", opts.Mode)
+		}
+	case GroupsPipeline:
+		ps = append(ps,
+			PlacePass(),
+			GroupsRoutePass(),
+			ExpandMCXPass(),
+			FixupRoutePass(triosFixupRouter),
+			MappingAwarePass(decompose.Auto),
+			LowerPass())
+	default:
+		return nil, fmt.Errorf("compiler: unknown pipeline %d", int(opts.Pipeline))
+	}
+	if opts.Optimize {
+		ps = append(ps, OptimizeOutputPass())
+	}
+	ps = append(ps, StatsPass())
+	return ps, nil
+}
+
+// PipelinePasses returns the complete pass list (front + back) for opts.
+func PipelinePasses(opts Options) ([]Pass, error) {
+	front, err := FrontPasses(opts)
+	if err != nil {
+		return nil, err
+	}
+	back, err := BackPasses(opts)
+	if err != nil {
+		return nil, err
+	}
+	return append(front, back...), nil
+}
+
+// PrepareFront validates the input and runs only the front passes,
+// returning the prepared circuit and the metrics of the passes that ran.
+// The batch engine caches its output per (input, pipeline, mode, optimize).
+func PrepareFront(input *circuit.Circuit, opts Options) (*circuit.Circuit, []PassMetric, error) {
+	if err := input.Validate(); err != nil {
+		return nil, nil, err
+	}
+	front, err := FrontPasses(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := &PassContext{Opts: opts, Circuit: input}
+	pm := NewPassManager(opts.Pipeline.String()+"-front", front...)
+	if err := pm.Run(ctx); err != nil {
+		return nil, nil, err
+	}
+	return ctx.Circuit, ctx.Metrics, nil
+}
+
+// checkFits rejects circuits with more qubits than the device has.
+func checkFits(input *circuit.Circuit, g *topo.Graph) error {
+	if input.NumQubits > g.NumQubits() {
+		return fmt.Errorf("compiler: circuit needs %d qubits, device %s has %d", input.NumQubits, g.Name(), g.NumQubits())
+	}
+	return nil
+}
+
+// compileFrom runs the pipeline for opts. When prepared is non-nil it is
+// the (possibly cached) output of the front passes for this input and
+// configuration, and the front is skipped; frontMetrics carries the metrics
+// to attribute to it.
+func compileFrom(input, prepared *circuit.Circuit, frontMetrics []PassMetric, g *topo.Graph, opts Options) (*Result, error) {
+	if err := checkFits(input, g); err != nil {
+		return nil, err
+	}
+	ctx := &PassContext{Graph: g, Opts: opts}
+	if prepared != nil {
+		ctx.Circuit = prepared
+		ctx.Metrics = append(ctx.Metrics, frontMetrics...)
+	} else {
+		c, metrics, err := PrepareFront(input, opts)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Circuit, ctx.Metrics = c, metrics
+	}
+	back, err := BackPasses(opts)
+	if err != nil {
+		return nil, err
+	}
+	pm := NewPassManager(opts.Pipeline.String(), back...)
+	if err := pm.Run(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Input:             input,
+		Physical:          ctx.Circuit,
+		Initial:           ctx.Init.VirtualToPhys(),
+		Final:             ctx.Final.VirtualToPhys(),
+		SwapsAdded:        ctx.SwapsAdded,
+		Graph:             g,
+		Passes:            ctx.Metrics,
+		ScheduledDuration: ctx.ScheduledDuration,
+	}, nil
+}

@@ -39,7 +39,8 @@ var AblationConfigs = []struct {
 
 // Ablation compiles the given benchmark on Johannesburg under every
 // configuration and pipeline, quantifying how much of the Trios win
-// survives as the surrounding compiler gets stronger.
+// survives as the surrounding compiler gets stronger. The configuration
+// grid fans out across the batch engine's worker pool.
 func Ablation(benchName string, seed int64) ([]AblationResult, error) {
 	b, err := benchmarks.ByName(benchName)
 	if err != nil {
@@ -50,31 +51,46 @@ func Ablation(benchName string, seed int64) ([]AblationResult, error) {
 		return nil, err
 	}
 	g := topo.Johannesburg()
-	var out []AblationResult
+	pipes := []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline}
+	var jobs []compiler.Job
 	for _, cfg := range AblationConfigs {
-		for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
-			res, err := compiler.Compile(c, g, compiler.Options{
-				Pipeline:  pipe,
-				Router:    cfg.Router,
-				Placement: cfg.Placement,
-				Optimize:  cfg.Optimize,
-				Seed:      seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation %s/%v: %w", cfg.Label, pipe, err)
-			}
-			if err := res.Verify(); err != nil {
-				return nil, err
-			}
-			out = append(out, AblationResult{
-				Benchmark: benchName,
-				Config:    cfg.Label,
-				Pipeline:  pipe,
-				TwoQubit:  res.TwoQubitGates(),
-				Swaps:     res.SwapsAdded,
-				Depth:     res.Physical.Depth(),
+		for _, pipe := range pipes {
+			jobs = append(jobs, compiler.Job{
+				ID:    fmt.Sprintf("ablation %s %s/%v", benchName, cfg.Label, pipe),
+				Input: c,
+				Graph: g,
+				Opts: compiler.Options{
+					Pipeline:  pipe,
+					Router:    cfg.Router,
+					Placement: cfg.Placement,
+					Optimize:  cfg.Optimize,
+					Seed:      seed,
+				},
 			})
 		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationResult
+	for i, jr := range rs {
+		cfg := AblationConfigs[i/len(pipes)]
+		pipe := pipes[i%len(pipes)]
+		if jr.Err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s/%v: %w", cfg.Label, pipe, jr.Err)
+		}
+		if err := jr.Result.Verify(); err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Benchmark: benchName,
+			Config:    cfg.Label,
+			Pipeline:  pipe,
+			TwoQubit:  jr.Result.TwoQubitGates(),
+			Swaps:     jr.Result.SwapsAdded,
+			Depth:     jr.Result.Physical.Depth(),
+		})
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trios/internal/benchmarks"
+	"trios/internal/circuit"
 	"trios/internal/compiler"
 	"trios/internal/noise"
 	"trios/internal/topo"
@@ -40,39 +41,79 @@ type CompiledPair struct {
 // using the paper's setup: greedy initial placement and the default Toffoli
 // modes (6-CNOT for the baseline, mapping-aware for Trios).
 func CompileBenchmark(b benchmarks.Benchmark, g *topo.Graph, seed int64) (*CompiledPair, error) {
-	c, err := b.Build()
+	pairs, err := compilePairs([]benchmarks.Benchmark{b}, []*topo.Graph{g}, seed)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+		return nil, err
 	}
-	// Both pipelines use the era-faithful configuration the paper compiled
-	// with: Qiskit 0.14's defaults were TrivialLayout (identity placement)
-	// plus StochasticSwap; the paper's Trios implementation grafts trio
-	// routing onto the same pass.
-	base, err := compiler.Compile(c, g, compiler.Options{
-		Pipeline:  compiler.Conventional,
+	return pairs[0], nil
+}
+
+// pairOptions is the era-faithful configuration the paper compiled with:
+// Qiskit 0.14's defaults were TrivialLayout (identity placement) plus
+// StochasticSwap; the paper's Trios implementation grafts trio routing onto
+// the same pass.
+func pairOptions(pipe compiler.Pipeline, seed int64) compiler.Options {
+	return compiler.Options{
+		Pipeline:  pipe,
 		Router:    compiler.RouteStochastic,
 		Placement: compiler.PlaceIdentity,
 		Seed:      seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s baseline on %s: %w", b.Name, g.Name(), err)
 	}
-	trios, err := compiler.Compile(c, g, compiler.Options{
-		Pipeline:  compiler.TriosPipeline,
-		Router:    compiler.RouteStochastic,
-		Placement: compiler.PlaceIdentity,
-		Seed:      seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s trios on %s: %w", b.Name, g.Name(), err)
+}
+
+// compilePairs fans the (benchmark x topology x pipeline) grid across the
+// batch engine and reassembles the per-cell pipeline pairs in grid order.
+// Each benchmark circuit is built once and shared by all its jobs, so the
+// engine's front cache decomposes it once per pipeline instead of once per
+// (topology, pipeline).
+func compilePairs(bs []benchmarks.Benchmark, topos []*topo.Graph, seed int64) ([]*CompiledPair, error) {
+	circuits := make([]*circuit.Circuit, len(bs))
+	for i, b := range bs {
+		c, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+		}
+		circuits[i] = c
 	}
-	if err := base.Verify(); err != nil {
+	var jobs []compiler.Job
+	for i, b := range bs {
+		for _, g := range topos {
+			for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
+				jobs = append(jobs, compiler.Job{
+					ID:    fmt.Sprintf("%s %v on %s", b.Name, pipe, g.Name()),
+					Input: circuits[i],
+					Graph: g,
+					Opts:  pairOptions(pipe, seed),
+				})
+			}
+		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
 		return nil, err
 	}
-	if err := trios.Verify(); err != nil {
-		return nil, err
+	var pairs []*CompiledPair
+	j := 0
+	for _, b := range bs {
+		for _, g := range topos {
+			base, trios := rs[j], rs[j+1]
+			j += 2
+			if base.Err != nil {
+				return nil, fmt.Errorf("experiments: %s baseline on %s: %w", b.Name, g.Name(), base.Err)
+			}
+			if trios.Err != nil {
+				return nil, fmt.Errorf("experiments: %s trios on %s: %w", b.Name, g.Name(), trios.Err)
+			}
+			if err := base.Result.Verify(); err != nil {
+				return nil, err
+			}
+			if err := trios.Result.Verify(); err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, &CompiledPair{Benchmark: b, Topology: g, Baseline: base.Result, Trios: trios.Result})
+		}
 	}
-	return &CompiledPair{Benchmark: b, Topology: g, Baseline: base, Trios: trios}, nil
+	return pairs, nil
 }
 
 // Evaluate turns a compiled pair into a BenchResult under a noise model.
@@ -124,19 +165,10 @@ func BenchmarkSweep(model noise.Params, seed int64) ([]BenchResult, error) {
 	return out, nil
 }
 
-// CompileAllBenchmarks compiles every benchmark x topology pair once.
+// CompileAllBenchmarks compiles every benchmark x topology pair once,
+// fanning the whole grid across the batch engine's worker pool.
 func CompileAllBenchmarks(seed int64) ([]*CompiledPair, error) {
-	var pairs []*CompiledPair
-	for _, b := range benchmarks.All() {
-		for _, g := range topo.PaperTopologies() {
-			p, err := CompileBenchmark(b, g, seed)
-			if err != nil {
-				return nil, err
-			}
-			pairs = append(pairs, p)
-		}
-	}
-	return pairs, nil
+	return compilePairs(benchmarks.All(), topo.PaperTopologies(), seed)
 }
 
 // GeoMeansByTopology aggregates a sweep the way the paper's figure captions

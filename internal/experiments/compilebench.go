@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"trios/internal/benchmarks"
+	"trios/internal/compiler"
+	"trios/internal/topo"
+)
+
+// CompileBenchRun is one timed drain of the full compile workload.
+type CompileBenchRun struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Jobs          int     `json:"jobs"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+}
+
+// CompileBenchReport is the machine-readable compile-path benchmark the CI
+// pipeline emits as BENCH_compile.json: the full (benchmark x topology x
+// pipeline) grid compiled serially and with the worker pool, plus the
+// aggregate per-pass wall-clock breakdown of the parallel run.
+type CompileBenchReport struct {
+	Seed        int64              `json:"seed"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Runs        []CompileBenchRun  `json:"runs"`
+	Speedup     float64            `json:"parallel_speedup"`
+	PassSeconds map[string]float64 `json:"pass_seconds"`
+	// Deterministic is true when the serial and parallel drains produced
+	// gate-for-gate identical circuits for every job — the batch engine's
+	// core invariant, re-checked on every CI run.
+	Deterministic bool `json:"deterministic"`
+}
+
+// compileBenchJobs builds the benchmark workload: every registry benchmark
+// on every paper topology with both pipelines (the Figs. 9-11 compile grid).
+func compileBenchJobs(seed int64) ([]compiler.Job, error) {
+	var jobs []compiler.Job
+	for _, b := range benchmarks.All() {
+		c, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+		}
+		for _, g := range topo.PaperTopologies() {
+			for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
+				jobs = append(jobs, compiler.Job{
+					ID:    fmt.Sprintf("%s %v on %s", b.Name, pipe, g.Name()),
+					Input: c,
+					Graph: g,
+					Opts:  pairOptions(pipe, seed),
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// RunCompileBench times the compile workload serially and with a pool of
+// the given size (<= 0 means GOMAXPROCS) and cross-checks that both drains
+// produce identical circuits.
+func RunCompileBench(workers int, seed int64) (*CompileBenchReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs, err := compileBenchJobs(seed)
+	if err != nil {
+		return nil, err
+	}
+	drain := func(w int) ([]*compiler.Result, float64, error) {
+		b := &compiler.Batch{Workers: w}
+		start := time.Now()
+		rs, err := b.Run(context.Background(), jobs)
+		if err != nil {
+			return nil, 0, err
+		}
+		results, err := compiler.Results(rs)
+		if err != nil {
+			return nil, 0, err
+		}
+		return results, time.Since(start).Seconds(), nil
+	}
+	serial, serialSec, err := drain(1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, parallelSec, err := drain(workers)
+	if err != nil {
+		return nil, err
+	}
+	report := &CompileBenchReport{
+		Seed:          seed,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Deterministic: true,
+		PassSeconds:   map[string]float64{},
+	}
+	for i := range jobs {
+		if !serial[i].Physical.Equal(parallel[i].Physical) {
+			report.Deterministic = false
+		}
+		for _, m := range parallel[i].Passes {
+			// Cached front metrics are reused from the dedup cache; only the
+			// job that computed them carries the real wall-clock.
+			if m.Cached {
+				continue
+			}
+			report.PassSeconds[m.Pass] += m.Duration.Seconds()
+		}
+	}
+	report.Runs = []CompileBenchRun{
+		{Name: "compile-grid-serial", Workers: 1, Jobs: len(jobs), WallSeconds: serialSec, JobsPerSecond: float64(len(jobs)) / serialSec},
+		{Name: "compile-grid-parallel", Workers: workers, Jobs: len(jobs), WallSeconds: parallelSec, JobsPerSecond: float64(len(jobs)) / parallelSec},
+	}
+	if parallelSec > 0 {
+		report.Speedup = serialSec / parallelSec
+	}
+	return report, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *CompileBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: encoding compile bench: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"context"
+
+	"trios/internal/compiler"
+)
+
+// Workers caps the parallelism of experiment compilation fan-outs; 0 (the
+// default) means GOMAXPROCS. The cmd front-ends set it once from their
+// -workers flag before running experiments. Every experiment builds its job
+// grid, drains it through one compiler.Batch, and consumes the results in
+// job order, so the outputs are identical for any worker count.
+var Workers int
+
+// runBatch compiles jobs with the configured worker count and returns the
+// per-job results in job order; callers wrap job errors with their own
+// experiment-specific context.
+func runBatch(jobs []compiler.Job) ([]compiler.JobResult, error) {
+	b := &compiler.Batch{Workers: Workers}
+	return b.Run(context.Background(), jobs)
+}

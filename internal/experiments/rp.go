@@ -37,8 +37,12 @@ func RelativePhase(model noise.Params, seed int64) ([]RPResult, error) {
 		{"grovers-9", func() (*circuit.Circuit, error) { return benchmarks.Grover(6) },
 			func() (*circuit.Circuit, error) { return benchmarks.GroverRP(6) }},
 	}
-	var out []RPResult
-	for _, cs := range cases {
+	type variantCase struct {
+		name      string
+		exact, rp *circuit.Circuit
+	}
+	built := make([]variantCase, len(cases))
+	for i, cs := range cases {
 		exact, err := cs.exact()
 		if err != nil {
 			return nil, err
@@ -47,29 +51,49 @@ func RelativePhase(model noise.Params, seed int64) ([]RPResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, g := range topo.PaperTopologies() {
-			opts := compiler.Options{Pipeline: compiler.TriosPipeline, Placement: compiler.PlaceGreedy, Seed: seed}
-			resExact, err := compiler.Compile(exact, g, opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s exact on %s: %w", cs.name, g.Name(), err)
+		built[i] = variantCase{name: cs.name, exact: exact, rp: rp}
+	}
+	topos := topo.PaperTopologies()
+	opts := func(seed int64) compiler.Options {
+		return compiler.Options{Pipeline: compiler.TriosPipeline, Placement: compiler.PlaceGreedy, Seed: seed}
+	}
+	var jobs []compiler.Job
+	for _, cs := range built {
+		for _, g := range topos {
+			jobs = append(jobs,
+				compiler.Job{ID: fmt.Sprintf("rp %s exact on %s", cs.name, g.Name()), Input: cs.exact, Graph: g, Opts: opts(seed)},
+				compiler.Job{ID: fmt.Sprintf("rp %s rp on %s", cs.name, g.Name()), Input: cs.rp, Graph: g, Opts: opts(seed)})
+		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []RPResult
+	j := 0
+	for _, cs := range built {
+		for _, g := range topos {
+			resExact, resRP := rs[j], rs[j+1]
+			j += 2
+			if resExact.Err != nil {
+				return nil, fmt.Errorf("experiments: %s exact on %s: %w", cs.name, g.Name(), resExact.Err)
 			}
-			resRP, err := compiler.Compile(rp, g, opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s rp on %s: %w", cs.name, g.Name(), err)
+			if resRP.Err != nil {
+				return nil, fmt.Errorf("experiments: %s rp on %s: %w", cs.name, g.Name(), resRP.Err)
 			}
-			pe, err := noise.SuccessProbability(resExact.Physical, model)
+			pe, err := noise.SuccessProbability(resExact.Result.Physical, model)
 			if err != nil {
 				return nil, err
 			}
-			pr, err := noise.SuccessProbability(resRP.Physical, model)
+			pr, err := noise.SuccessProbability(resRP.Result.Physical, model)
 			if err != nil {
 				return nil, err
 			}
 			r := RPResult{
 				Benchmark:    cs.name,
 				Topology:     g.Name(),
-				ExactCNOTs:   resExact.TwoQubitGates(),
-				RPCNOTs:      resRP.TwoQubitGates(),
+				ExactCNOTs:   resExact.Result.TwoQubitGates(),
+				RPCNOTs:      resRP.Result.TwoQubitGates(),
 				ExactSuccess: pe,
 				RPSuccess:    pr,
 			}

@@ -65,12 +65,18 @@ func scalingFamilies() []scalingFamily {
 }
 
 // Scaling sweeps each benchmark family across sizes on Johannesburg,
-// compiling with both pipelines. It exposes where the Trios advantage comes
-// from: small instances route cheaply (little to win); as the circuit
-// approaches the full device, structure-aware routing matters more.
+// compiling with both pipelines in parallel through the batch engine. It
+// exposes where the Trios advantage comes from: small instances route
+// cheaply (little to win); as the circuit approaches the full device,
+// structure-aware routing matters more.
 func Scaling(seed int64) ([]ScalingPoint, error) {
 	g := topo.Johannesburg()
-	var out []ScalingPoint
+	type instance struct {
+		Family string
+		Param  int
+		C      *circuit.Circuit
+	}
+	var instances []instance
 	for _, fam := range scalingFamilies() {
 		for _, p := range fam.Params {
 			c, err := fam.Build(p)
@@ -80,38 +86,46 @@ func Scaling(seed int64) ([]ScalingPoint, error) {
 			if c.NumQubits > g.NumQubits() {
 				continue
 			}
-			base, err := compiler.Compile(c, g, compiler.Options{
-				Pipeline:  compiler.Conventional,
-				Router:    compiler.RouteStochastic,
-				Placement: compiler.PlaceIdentity,
-				Seed:      seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s(%d) baseline: %w", fam.Name, p, err)
-			}
-			trios, err := compiler.Compile(c, g, compiler.Options{
-				Pipeline:  compiler.TriosPipeline,
-				Router:    compiler.RouteStochastic,
-				Placement: compiler.PlaceIdentity,
-				Seed:      seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s(%d) trios: %w", fam.Name, p, err)
-			}
-			bc, tc := base.TwoQubitGates(), trios.TwoQubitGates()
-			pt := ScalingPoint{
-				Family:        fam.Name,
-				Param:         p,
-				Qubits:        c.NumQubits,
-				Toffolis:      c.CountName(circuit.CCX),
-				BaselineCNOTs: bc,
-				TriosCNOTs:    tc,
-			}
-			if bc > 0 {
-				pt.ReductionPct = 100 * float64(bc-tc) / float64(bc)
-			}
-			out = append(out, pt)
+			instances = append(instances, instance{Family: fam.Name, Param: p, C: c})
 		}
+	}
+	var jobs []compiler.Job
+	for _, in := range instances {
+		for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
+			jobs = append(jobs, compiler.Job{
+				ID:    fmt.Sprintf("scaling %s(%d) %v", in.Family, in.Param, pipe),
+				Input: in.C,
+				Graph: g,
+				Opts:  pairOptions(pipe, seed),
+			})
+		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingPoint
+	for i, in := range instances {
+		base, trios := rs[2*i], rs[2*i+1]
+		if base.Err != nil {
+			return nil, fmt.Errorf("experiments: %s(%d) baseline: %w", in.Family, in.Param, base.Err)
+		}
+		if trios.Err != nil {
+			return nil, fmt.Errorf("experiments: %s(%d) trios: %w", in.Family, in.Param, trios.Err)
+		}
+		bc, tc := base.Result.TwoQubitGates(), trios.Result.TwoQubitGates()
+		pt := ScalingPoint{
+			Family:        in.Family,
+			Param:         in.Param,
+			Qubits:        in.C.NumQubits,
+			Toffolis:      in.C.CountName(circuit.CCX),
+			BaselineCNOTs: bc,
+			TriosCNOTs:    tc,
+		}
+		if bc > 0 {
+			pt.ReductionPct = 100 * float64(bc-tc) / float64(bc)
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

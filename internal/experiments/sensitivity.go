@@ -33,13 +33,9 @@ func DefaultFactors() []float64 {
 // rates; its dashed 20x line is the setting Figures 9-11 use).
 func Sensitivity(base noise.Params, factors []float64, seed int64) ([]SensitivityPoint, error) {
 	g := topo.Johannesburg()
-	var pairs []*CompiledPair
-	for _, b := range allToffoliBenchmarks() {
-		p, err := CompileBenchmark(b, g, seed)
-		if err != nil {
-			return nil, err
-		}
-		pairs = append(pairs, p)
+	pairs, err := compilePairs(allToffoliBenchmarks(), []*topo.Graph{g}, seed)
+	if err != nil {
+		return nil, err
 	}
 	var points []SensitivityPoint
 	for _, p := range pairs {

@@ -88,29 +88,48 @@ func toffoliCircuit() *circuit.Circuit {
 
 // ToffoliExperiment compiles a single Toffoli for every triplet under all
 // four configurations and estimates success under the noise model,
-// emulating the paper's 8192-shot runs on IBM Johannesburg.
+// emulating the paper's 8192-shot runs on IBM Johannesburg. The
+// (triplet x configuration) compilations fan out across the batch engine;
+// shot sampling stays serial in triplet order against one seeded RNG, so
+// the results are identical to a serial run for any worker count.
 func ToffoliExperiment(g *topo.Graph, triplets [][3]int, model noise.Params, shots int, seed int64) ([]TripletResult, error) {
+	src := toffoliCircuit()
+	jobs := make([]compiler.Job, 0, len(triplets)*len(ToffoliConfigs))
+	for _, trip := range triplets {
+		trip := trip
+		for ci, cfg := range ToffoliConfigs {
+			jobs = append(jobs, compiler.Job{
+				ID:    fmt.Sprintf("toffoli %v %s", trip, cfg.Label),
+				Input: src,
+				Graph: g,
+				Opts: compiler.Options{
+					Pipeline:      cfg.Pipeline,
+					Mode:          cfg.Mode,
+					Router:        compiler.RouteStochastic,
+					InitialLayout: trip[:],
+					Seed:          seed + int64(ci),
+				},
+			})
+		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]TripletResult, 0, len(triplets))
 	rng := rand.New(rand.NewSource(seed))
-	src := toffoliCircuit()
-	for _, trip := range triplets {
+	for ti, trip := range triplets {
 		r := TripletResult{Triplet: trip, Distance: TripletDistance(g, trip)}
 		for ci, cfg := range ToffoliConfigs {
-			res, err := compiler.Compile(src, g, compiler.Options{
-				Pipeline:      cfg.Pipeline,
-				Mode:          cfg.Mode,
-				Router:        compiler.RouteStochastic,
-				InitialLayout: trip[:],
-				Seed:          seed + int64(ci),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: triplet %v config %q: %w", trip, cfg.Label, err)
+			jr := rs[ti*len(ToffoliConfigs)+ci]
+			if jr.Err != nil {
+				return nil, fmt.Errorf("experiments: triplet %v config %q: %w", trip, cfg.Label, jr.Err)
 			}
-			if err := res.Verify(); err != nil {
+			if err := jr.Result.Verify(); err != nil {
 				return nil, err
 			}
-			r.CNOTs[ci] = res.TwoQubitGates()
-			succ, prob, err := noise.SampleSuccesses(res.Physical, model, shots, rng)
+			r.CNOTs[ci] = jr.Result.TwoQubitGates()
+			succ, prob, err := noise.SampleSuccesses(jr.Result.Physical, model, shots, rng)
 			if err != nil {
 				return nil, err
 			}
