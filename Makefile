@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint vet fmt fmt-check bench-json
+.PHONY: all build test race bench bench-route lint vet fmt fmt-check bench-json
 
 all: build test
 
@@ -10,14 +10,20 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent compilation engine and the routers it drives.
+# Race-check the concurrent compilation engine, the routers it drives, and
+# the lazily-built per-device distance oracle they all share.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
 bench:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# Routing micro-benchmarks: router end-to-end timings plus old-vs-new path
+# machinery (legacy per-query BFS/Dijkstra vs the distance-oracle lookups).
+bench-route:
+	$(GO) test -run '^$$' -bench 'Router|Distances|ShortestPath|Weighted|Oracle' -benchmem ./internal/route/... ./internal/topo/...
 
 # Emit the machine-readable compile-path benchmark for the perf trajectory.
 bench-json:

@@ -60,8 +60,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "compile bench: serial and parallel drains diverged")
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d jobs, %.2fx parallel speedup with %d workers)\n",
-			*benchJSON, report.Runs[0].Jobs, report.Speedup, report.Runs[1].Workers)
+		if report.SpeedupNote != "" {
+			fmt.Printf("wrote %s (%d jobs, route %.3fs; %s)\n",
+				*benchJSON, report.Runs[0].Jobs, report.RouteSeconds, report.SpeedupNote)
+		} else {
+			fmt.Printf("wrote %s (%d jobs, route %.3fs, %.2fx parallel speedup with %d workers)\n",
+				*benchJSON, report.Runs[0].Jobs, report.RouteSeconds, report.Speedup, report.Runs[1].Workers)
+		}
 		return
 	}
 

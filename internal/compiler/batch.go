@@ -67,6 +67,17 @@ func (b *Batch) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
 	out := make(chan JobResult)
 	idx := make(chan int)
 	cache := newFrontCache()
+	// Warm each unique device's distance oracle once before the fan-out: the
+	// oracle lives on the Graph (keyed by device identity), so every job
+	// sharing a device shares one table build instead of workers racing to
+	// build it inside their first timed routing pass.
+	warmed := make(map[*topo.Graph]bool)
+	for i := range jobs {
+		if g := jobs[i].Graph; g != nil && !warmed[g] {
+			warmed[g] = true
+			g.EnsureOracle()
+		}
+	}
 	go func() {
 		defer close(idx)
 		for i := range jobs {

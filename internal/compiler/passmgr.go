@@ -461,6 +461,10 @@ func compileFrom(input, prepared *circuit.Circuit, frontMetrics []PassMetric, g 
 	if err := checkFits(input, g); err != nil {
 		return nil, err
 	}
+	// Build the device's distance oracle up front (idempotent): the layout
+	// and routing passes then run on pure table lookups, and the one-time
+	// build cost is not misattributed to whichever pass queried first.
+	g.EnsureOracle()
 	ctx := &PassContext{Graph: g, Opts: opts}
 	if prepared != nil {
 		ctx.Circuit = prepared

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"trios/internal/benchmarks"
@@ -14,9 +15,12 @@ import (
 )
 
 // CompileBenchRun is one timed drain of the full compile workload.
+// GOMAXPROCS is recorded per run so a "parallel" drain that only ever had
+// one effective worker is identifiable from the artifact alone.
 type CompileBenchRun struct {
 	Name          string  `json:"name"`
 	Workers       int     `json:"workers"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Jobs          int     `json:"jobs"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	JobsPerSecond float64 `json:"jobs_per_second"`
@@ -27,11 +31,21 @@ type CompileBenchRun struct {
 // pipeline) grid compiled serially and with the worker pool, plus the
 // aggregate per-pass wall-clock breakdown of the parallel run.
 type CompileBenchReport struct {
-	Seed        int64              `json:"seed"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Runs        []CompileBenchRun  `json:"runs"`
-	Speedup     float64            `json:"parallel_speedup"`
+	Seed       int64             `json:"seed"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Runs       []CompileBenchRun `json:"runs"`
+	// Speedup is serial wall-clock over parallel wall-clock. It is omitted
+	// (with SpeedupNote explaining why) when the parallel drain had only one
+	// effective worker — min(workers, GOMAXPROCS, jobs) <= 1 — because the
+	// two runs then measure the same serial execution and the ratio is
+	// scheduling noise, not a speedup.
+	Speedup     float64            `json:"parallel_speedup,omitempty"`
+	SpeedupNote string             `json:"parallel_speedup_note,omitempty"`
 	PassSeconds map[string]float64 `json:"pass_seconds"`
+	// RouteSeconds sums every route:* pass — the compile grid's historical
+	// hot path, broken out so its trajectory is visible at a glance in CI
+	// artifacts without summing PassSeconds by hand.
+	RouteSeconds float64 `json:"route_seconds"`
 	// Deterministic is true when the serial and parallel drains produced
 	// gate-for-gate identical circuits for every job — the batch engine's
 	// core invariant, re-checked on every CI run.
@@ -40,14 +54,17 @@ type CompileBenchReport struct {
 
 // compileBenchJobs builds the benchmark workload: every registry benchmark
 // on every paper topology with both pipelines (the Figs. 9-11 compile grid).
+// The topology list is built once and shared by every job so each device's
+// distance oracle is built exactly once for the whole grid.
 func compileBenchJobs(seed int64) ([]compiler.Job, error) {
+	topos := topo.PaperTopologies()
 	var jobs []compiler.Job
 	for _, b := range benchmarks.All() {
 		c, err := b.Build()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
 		}
-		for _, g := range topo.PaperTopologies() {
+		for _, g := range topos {
 			for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
 				jobs = append(jobs, compiler.Job{
 					ID:    fmt.Sprintf("%s %v on %s", b.Name, pipe, g.Name()),
@@ -110,13 +127,27 @@ func RunCompileBench(workers int, seed int64) (*CompileBenchReport, error) {
 				continue
 			}
 			report.PassSeconds[m.Pass] += m.Duration.Seconds()
+			if strings.HasPrefix(m.Pass, "route:") {
+				report.RouteSeconds += m.Duration.Seconds()
+			}
 		}
 	}
+	maxprocs := runtime.GOMAXPROCS(0)
 	report.Runs = []CompileBenchRun{
-		{Name: "compile-grid-serial", Workers: 1, Jobs: len(jobs), WallSeconds: serialSec, JobsPerSecond: float64(len(jobs)) / serialSec},
-		{Name: "compile-grid-parallel", Workers: workers, Jobs: len(jobs), WallSeconds: parallelSec, JobsPerSecond: float64(len(jobs)) / parallelSec},
+		{Name: "compile-grid-serial", Workers: 1, GOMAXPROCS: maxprocs, Jobs: len(jobs), WallSeconds: serialSec, JobsPerSecond: float64(len(jobs)) / serialSec},
+		{Name: "compile-grid-parallel", Workers: workers, GOMAXPROCS: maxprocs, Jobs: len(jobs), WallSeconds: parallelSec, JobsPerSecond: float64(len(jobs)) / parallelSec},
 	}
-	if parallelSec > 0 {
+	effective := workers
+	if maxprocs < effective {
+		effective = maxprocs
+	}
+	if len(jobs) < effective {
+		effective = len(jobs)
+	}
+	switch {
+	case effective <= 1:
+		report.SpeedupNote = fmt.Sprintf("parallel run had %d effective worker(s) (workers=%d, GOMAXPROCS=%d); speedup suppressed as meaningless", effective, workers, maxprocs)
+	case parallelSec > 0:
 		report.Speedup = serialSec / parallelSec
 	}
 	return report, nil

@@ -87,6 +87,13 @@ func (l *Layout) Copy() *Layout {
 	return c
 }
 
+// CopyFrom overwrites l with o's mapping. The layouts must be the same size;
+// it is the allocation-free counterpart of Copy for reusable scratch layouts.
+func (l *Layout) CopyFrom(o *Layout) {
+	copy(l.v2p, o.v2p)
+	copy(l.p2v, o.p2v)
+}
+
 // VirtualToPhys returns a copy of the virtual->physical assignment.
 func (l *Layout) VirtualToPhys() []int {
 	out := make([]int, len(l.v2p))

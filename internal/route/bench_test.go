@@ -68,3 +68,20 @@ func BenchmarkStochasticRouterJohannesburg(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkLookaheadRouterJohannesburg(b *testing.B) {
+	g := topo.Johannesburg()
+	rng := rand.New(rand.NewSource(4))
+	c := circuit.New(20)
+	for i := 0; i < 100; i++ {
+		p := rng.Perm(20)
+		c.CX(p[0], p[1])
+	}
+	init := layout.Identity(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Lookahead{Seed: int64(i)}).Route(c, g, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -84,8 +84,11 @@ func (s *state) routeGroup(vs []int) error {
 		}
 	}
 
-	// Accrete the rest around the centroid, nearest first.
-	cluster := map[int]bool{ps[bestIdx]: true}
+	// Accrete the rest around the centroid, nearest first. The cluster mask
+	// doubles as bfsAvoid's avoid set: attach paths never swap through
+	// already-placed members.
+	cluster := make([]bool, s.g.NumQubits())
+	cluster[ps[bestIdx]] = true
 	rest := make([]int, 0, len(vs)-1)
 	for i, v := range vs {
 		if i != bestIdx {
@@ -120,11 +123,7 @@ func (s *state) routeGroup(vs []int) error {
 				}
 				return false
 			}
-			avoid := make(map[int]bool, len(cluster))
-			for q := range cluster {
-				avoid[q] = true
-			}
-			path := s.bfsAvoid(p, goal, avoid)
+			path := s.bfsAvoid(p, goal, cluster)
 			if path == nil {
 				return fmt.Errorf("no path to attach physical qubit %d to the cluster", p)
 			}

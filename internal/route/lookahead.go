@@ -30,6 +30,16 @@ type Lookahead struct {
 }
 
 // Route implements Router.
+//
+// The scheduler is a DAG ready-queue frontier rather than the former
+// O(n)-gates-per-iteration rescan: gates enter a sorted ready list when
+// their last predecessor completes, executable ones drain in ascending gate
+// order (the exact order the legacy full sweep executed them, since a gate's
+// successors always sit later in program order), and window collection scans
+// from the first undone gate instead of gate zero. Swap scoring walks only
+// the window gates, each cost an O(1) distance-oracle lookup, accumulating
+// in the legacy per-gate order so scores — and tie-breaks — are bit-identical
+// for any ExtendedWeight.
 func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
 	window := lk.Window
 	if window <= 0 {
@@ -52,12 +62,38 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 	}
 	completed := 0
 	dist := g.AllPairsDistances()
+	edges := g.EdgeList()
 
+	// Ready frontier: undone gates whose predecessors have all executed,
+	// kept in ascending gate order.
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	insertReady := func(idx int) {
+		lo, hi := 0, len(ready)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ready[mid] < idx {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		ready = append(ready, 0)
+		copy(ready[lo+1:], ready[lo:])
+		ready[lo] = idx
+	}
 	markDone := func(i int) {
 		done[i] = true
 		completed++
 		for _, succ := range dag.Succs[i] {
 			remaining[succ]--
+			if remaining[succ] == 0 {
+				insertReady(succ)
+			}
 		}
 	}
 
@@ -106,38 +142,54 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 	// guaranteeing progress (score plateaus can otherwise oscillate).
 	stall := 0
 	stallBudget := 2 * g.NumQubits()
-	for completed < n {
-		progress := true
-		for progress {
-			progress = false
-			for i := 0; i < n; i++ {
-				if done[i] || remaining[i] > 0 {
-					continue
-				}
-				gate := c.Gates[i]
-				if len(gate.Qubits) > 2 && !trioGate(gate.Name) && gate.Name != circuit.Barrier {
-					return nil, fmt.Errorf("route: lookahead router cannot handle gate %v (gate %d)", gate.Name, i)
-				}
-				if trioGate(gate.Name) && !lk.TrioAware {
-					return nil, fmt.Errorf("route: lookahead router needs TrioAware for %v (gate %d)", gate.Name, i)
-				}
-				if executable(gate) {
-					s.emitMapped(gate)
-					markDone(i)
-					progress = true
-					lastSwap = [2]int{-1, -1}
-					stall = 0
-				}
+
+	// executeReady drains every executable frontier gate in ascending order.
+	// Executing a gate can only ready later gates (successors follow their
+	// predecessors in program order), so newly readied indices are inserted
+	// at or after the cursor and a single forward pass reproduces the legacy
+	// sweep-to-fixpoint exactly.
+	executeReady := func() error {
+		for k := 0; k < len(ready); {
+			i := ready[k]
+			gate := c.Gates[i]
+			if len(gate.Qubits) > 2 && !trioGate(gate.Name) && gate.Name != circuit.Barrier {
+				return fmt.Errorf("route: lookahead router cannot handle gate %v (gate %d)", gate.Name, i)
 			}
+			if trioGate(gate.Name) && !lk.TrioAware {
+				return fmt.Errorf("route: lookahead router needs TrioAware for %v (gate %d)", gate.Name, i)
+			}
+			if executable(gate) {
+				s.emitMapped(gate)
+				ready = append(ready[:k], ready[k+1:]...)
+				markDone(i)
+				lastSwap = [2]int{-1, -1}
+				stall = 0
+			} else {
+				k++
+			}
+		}
+		return nil
+	}
+
+	head := 0 // every gate below head is done
+	var front, extended []circuit.Gate
+	involved := s.involved
+	for completed < n {
+		if err := executeReady(); err != nil {
+			return nil, err
 		}
 		if completed == n {
 			break
 		}
 
-		// Collect the blocked front layer and the extended window.
-		var front, extended []circuit.Gate
+		// Collect the blocked front layer and the extended window, scanning
+		// from the first undone gate.
+		for head < n && done[head] {
+			head++
+		}
+		front, extended = front[:0], extended[:0]
 		count := 0
-		for i := 0; i < n && count < window; i++ {
+		for i := head; i < n && count < window; i++ {
 			if done[i] {
 				continue
 			}
@@ -179,7 +231,9 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 		}
 
 		// Candidate swaps: edges touching front-layer operands.
-		involved := map[int]bool{}
+		for i := range involved {
+			involved[i] = false
+		}
 		for _, gate := range front {
 			for _, q := range gate.Qubits {
 				involved[s.l.Phys(q)] = true
@@ -187,7 +241,7 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 		}
 		bestEdge := [2]int{-1, -1}
 		bestScore := 1e18
-		for _, e := range g.Edges() {
+		for _, e := range edges {
 			if !involved[e[0]] && !involved[e[1]] {
 				continue
 			}

@@ -1,0 +1,51 @@
+package route
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"trios/internal/layout"
+	"trios/internal/topo"
+)
+
+// TestConcurrentRoutersShareFreshOracle routes the same circuit from many
+// goroutines against one freshly constructed Graph, so the distance oracle's
+// sync.Once build races real router traffic under -race (make race), and
+// asserts every concurrent result matches the single-threaded one.
+func TestConcurrentRoutersShareFreshOracle(t *testing.T) {
+	// Fresh graph per scenario so each run rebuilds its oracle.
+	mk := func() *topo.Graph { return topo.Johannesburg() }
+	c := benchTrioCircuit(20, 60, 5)
+	init := layout.Identity(20)
+
+	ref, err := (&Trios{Seed: 11}).Route(c, mk(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := mk() // shared, unwarmed: workers race to build the oracle
+	const workers = 12
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = (&Trios{Seed: 11}).Route(c, g, init)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !results[w].Circuit.Equal(ref.Circuit) {
+			t.Fatalf("worker %d: routed circuit diverged from single-threaded reference", w)
+		}
+		if !reflect.DeepEqual(results[w].Final.VirtualToPhys(), ref.Final.VirtualToPhys()) {
+			t.Fatalf("worker %d: final layout diverged", w)
+		}
+	}
+}

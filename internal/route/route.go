@@ -29,7 +29,9 @@ type Router interface {
 	Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error)
 }
 
-// state carries the shared mechanics of both routers.
+// state carries the shared mechanics of both routers, including the scratch
+// buffers that keep the per-gate hot loops allocation-free: one routing run
+// owns its state, so buffers are reused freely across gates.
 type state struct {
 	g     *topo.Graph
 	l     *layout.Layout
@@ -39,30 +41,64 @@ type state struct {
 	// weight, when non-nil, selects noise-aware Dijkstra paths whose edge
 	// weight is -log(CNOT success), per the paper's noise-aware extension.
 	weight func(a, b int) float64
+	// worc caches the weighted-path oracle for weight, built on first use
+	// (one Dijkstra sweep per source, amortized over every query of the run).
+	worc *topo.WeightedOracle
+	// prefer is the tie-break hook handed to the distance oracle's path walk;
+	// hoisted here so path() does not allocate a closure per query.
+	prefer func(cands []int) int
+	// pathBuf backs path and bfsAvoid results; valid until the next call.
+	pathBuf []int
+	// scratch buffers sized to the device, reused by routers' inner loops.
+	involved []bool // per-physical-qubit marks ("involved" sets)
+	prevBuf  []int  // bfsAvoid predecessor table
+	queueBuf []int  // bfsAvoid BFS queue
+	avoidBuf []bool // bfsAvoid avoid-set marks
+	// stoch is the stochastic router's trial scratch, built on first use.
+	stoch *stochScratch
 }
 
 func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, b int) float64) (*state, error) {
 	if initial.Size() != g.NumQubits() {
 		return nil, fmt.Errorf("route: layout covers %d qubits, device has %d", initial.Size(), g.NumQubits())
 	}
-	return &state{
-		g:      g,
-		l:      initial.Copy(),
-		out:    circuit.New(g.NumQubits()),
-		rng:    rand.New(rand.NewSource(seed)),
-		weight: weight,
-	}, nil
+	n := g.NumQubits()
+	s := &state{
+		g:        g,
+		l:        initial.Copy(),
+		out:      circuit.New(n),
+		rng:      rand.New(rand.NewSource(seed)),
+		weight:   weight,
+		involved: make([]bool, n),
+		prevBuf:  make([]int, n),
+		avoidBuf: make([]bool, n),
+	}
+	s.prefer = func(cands []int) int { return s.rng.Intn(len(cands)) }
+	return s, nil
 }
 
-// path returns a routing path between physical qubits: BFS shortest path
-// with stochastic tie-breaking, or Dijkstra when a noise weight is set.
+// path returns a routing path between physical qubits: oracle shortest path
+// with stochastic tie-breaking, or weighted-oracle (Dijkstra) paths when a
+// noise weight is set. The returned slice is the state's scratch buffer,
+// valid until the next path or bfsAvoid call.
 func (s *state) path(from, to int) []int {
 	if s.weight != nil {
-		return s.g.WeightedPath(from, to, s.weight)
+		if s.worc == nil {
+			s.worc = topo.NewWeightedOracle(s.g, s.weight)
+		}
+		p, ok := s.worc.PathAppend(s.pathBuf[:0], from, to)
+		s.pathBuf = p[:0:cap(p)]
+		if !ok {
+			return nil
+		}
+		return p
 	}
-	return s.g.ShortestPathTieBreak(from, to, func(cands []int) int {
-		return s.rng.Intn(len(cands))
-	})
+	p, ok := s.g.ShortestPathAppend(s.pathBuf[:0], from, to, s.prefer)
+	s.pathBuf = p[:0:cap(p)]
+	if !ok {
+		return nil
+	}
+	return p
 }
 
 // swapAlong emits SWAPs that move the data at path[0] forward to

@@ -151,56 +151,105 @@ func (s *Stochastic) searchSwaps(st *state, g *topo.Graph, pending [][2]int, tri
 	return best
 }
 
+// stochScratch holds the per-state buffers oneTrial reuses across steps and
+// trials, indexing pending pairs by the physical qubits they occupy so a
+// candidate swap is scored against only the pairs it touches.
+type stochScratch struct {
+	trialL    *layout.Layout // scratch layout the trial mutates
+	pairA     []int          // physical position of each pending pair's first qubit
+	pairB     []int          // ... and second qubit
+	pairsAt   [][]int32      // per-physical-qubit list of pending-pair indices
+	touched   []int          // physical qubits whose pairsAt lists need clearing
+	cands     [][2]int
+	improving [][2]int
+}
+
+func (st *state) stochScratch() *stochScratch {
+	if st.stoch == nil {
+		n := st.g.NumQubits()
+		st.stoch = &stochScratch{
+			trialL:  st.l.Copy(),
+			pairsAt: make([][]int32, n),
+		}
+	}
+	return st.stoch
+}
+
 // oneTrial simulates random swaps on a scratch layout until some pending
 // pair becomes adjacent. Swaps are drawn from edges touching pending qubits;
 // with high probability a distance-reducing edge is chosen, otherwise any
 // such edge — the randomness that makes the era-appropriate baseline wander.
+//
+// A candidate swap (a, b) is scored by an O(pairs-touching-a,b) delta
+// against the device's distance oracle instead of re-running a BFS sweep
+// over every pending pair: only pairs with an endpoint on a or b change
+// distance, and the swap improves the layer exactly when the summed delta of
+// those pairs is negative. Distances are exact integers, so the delta test
+// selects the same improving set as the legacy recompute-everything scan.
 func (s *Stochastic) oneTrial(st *state, g *topo.Graph, pending [][2]int, limit int) [][2]int {
-	l := st.l.Copy()
+	sc := st.stochScratch()
+	l := sc.trialL
+	l.CopyFrom(st.l)
 	rng := st.rng
 	var seq [][2]int
 
-	totalDistance := func() int {
-		sum := 0
-		for _, p := range pending {
-			d := g.Distances(l.Phys(p[0]))
-			sum += d[l.Phys(p[1])]
-		}
-		return sum
-	}
-	anyAdjacent := func() bool {
+	edges := g.EdgeList()
+	involved := st.involved
+	for len(seq) < limit {
+		adjacent := false
 		for _, p := range pending {
 			if g.Connected(l.Phys(p[0]), l.Phys(p[1])) {
-				return true
+				adjacent = true
+				break
 			}
 		}
-		return false
-	}
-
-	for len(seq) < limit {
-		if anyAdjacent() {
+		if adjacent {
 			return seq
 		}
-		// Candidate edges: those touching a physical qubit that currently
-		// holds one side of a pending pair.
-		involved := map[int]bool{}
-		for _, p := range pending {
-			involved[l.Phys(p[0])] = true
-			involved[l.Phys(p[1])] = true
+		// Index the pending pairs by the physical qubits holding them, so a
+		// candidate edge scores against only the pairs it moves.
+		for _, q := range sc.touched {
+			sc.pairsAt[q] = sc.pairsAt[q][:0]
+			involved[q] = false
 		}
-		var cands, improving [][2]int
-		cur := totalDistance()
-		for _, e := range g.Edges() {
+		sc.touched = sc.touched[:0]
+		sc.pairA = sc.pairA[:0]
+		sc.pairB = sc.pairB[:0]
+		for i, p := range pending {
+			a, b := l.Phys(p[0]), l.Phys(p[1])
+			sc.pairA = append(sc.pairA, a)
+			sc.pairB = append(sc.pairB, b)
+			for _, q := range [2]int{a, b} {
+				if !involved[q] {
+					involved[q] = true
+					sc.touched = append(sc.touched, q)
+				}
+				sc.pairsAt[q] = append(sc.pairsAt[q], int32(i))
+			}
+		}
+		cands, improving := sc.cands[:0], sc.improving[:0]
+		for _, e := range edges {
 			if !involved[e[0]] && !involved[e[1]] {
 				continue
 			}
 			cands = append(cands, e)
-			l.SwapPhys(e[0], e[1])
-			if totalDistance() < cur {
+			// Delta over the pairs touching e's endpoints. A pair touching
+			// both endpoints sits exactly on e — but then it is already
+			// adjacent and the trial returned above, so no pair is visited
+			// twice here (and even if one were, its delta is 0 by symmetry).
+			delta := 0
+			for _, end := range e {
+				for _, i := range sc.pairsAt[end] {
+					a, b := sc.pairA[i], sc.pairB[i]
+					na, nb := swapEnd(a, e), swapEnd(b, e)
+					delta += g.Dist(na, nb) - g.Dist(a, b)
+				}
+			}
+			if delta < 0 {
 				improving = append(improving, e)
 			}
-			l.SwapPhys(e[0], e[1])
 		}
+		sc.cands, sc.improving = cands[:0], improving[:0]
 		pool := improving
 		// Random exploration keeps the search from deadlocking on plateaus
 		// and reproduces the baseline's wander.
@@ -215,4 +264,15 @@ func (s *Stochastic) oneTrial(st *state, g *topo.Graph, pending [][2]int, limit 
 		seq = append(seq, e)
 	}
 	return nil
+}
+
+// swapEnd maps a physical position through the swap of edge e's endpoints.
+func swapEnd(q int, e [2]int) int {
+	switch q {
+	case e[0]:
+		return e[1]
+	case e[1]:
+		return e[0]
+	}
+	return q
 }

@@ -164,7 +164,7 @@ func (s *state) routeTrioRole(v0, v1, v2, targetV int) error {
 			if s.weight != nil {
 				p = s.weightedAttach(pb, pd, pa)
 			} else {
-				p = s.bfsAvoid(pb, goal, map[int]bool{pd: true, pa: true})
+				p = s.bfsAvoid(pb, goal, s.avoidSet(pd, pa))
 			}
 			if p == nil {
 				// Fallback: unrestricted path toward the destination; the
@@ -264,39 +264,57 @@ func (s *state) weightedAttach(from, pd, pa int) []int {
 func inf() float64 { return 1e308 }
 
 // bfsAvoid finds a shortest path from `from` to any node satisfying goal,
-// never visiting nodes in avoid. Returns nil if unreachable. Tie-breaks
-// deterministically by visit order (ascending neighbor index).
-func (s *state) bfsAvoid(from int, goal func(int) bool, avoid map[int]bool) []int {
+// never visiting nodes marked in avoid (a per-physical-qubit mask, typically
+// s.avoidBuf). Returns nil if unreachable; otherwise the result lives in the
+// state's path scratch buffer, valid until the next path or bfsAvoid call.
+// Tie-breaks deterministically by visit order (ascending neighbor index).
+func (s *state) bfsAvoid(from int, goal func(int) bool, avoid []bool) []int {
 	if goal(from) {
-		return []int{from}
+		s.pathBuf = append(s.pathBuf[:0], from)
+		return s.pathBuf
 	}
-	prev := make([]int, s.g.NumQubits())
+	prev := s.prevBuf
 	for i := range prev {
 		prev[i] = -2 // unvisited
 	}
 	prev[from] = -1
-	queue := []int{from}
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
+	queue := append(s.queueBuf[:0], from)
+	defer func() { s.queueBuf = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		q := queue[head]
 		for _, nb := range s.g.Neighbors(q) {
 			if prev[nb] != -2 || avoid[nb] {
 				continue
 			}
 			prev[nb] = q
 			if goal(nb) {
-				var rev []int
+				hops := 0
 				for x := nb; x != -1; x = prev[x] {
-					rev = append(rev, x)
+					hops++
 				}
-				path := make([]int, len(rev))
-				for i, x := range rev {
-					path[len(rev)-1-i] = x
+				path := s.pathBuf[:0]
+				for i := 0; i < hops; i++ {
+					path = append(path, 0)
 				}
+				for x, i := nb, hops-1; x != -1; x, i = prev[x], i-1 {
+					path[i] = x
+				}
+				s.pathBuf = path
 				return path
 			}
 			queue = append(queue, nb)
 		}
 	}
 	return nil
+}
+
+// avoidSet clears and fills the state's avoid mask with the given qubits.
+func (s *state) avoidSet(qs ...int) []bool {
+	for i := range s.avoidBuf {
+		s.avoidBuf[i] = false
+	}
+	for _, q := range qs {
+		s.avoidBuf[q] = true
+	}
+	return s.avoidBuf
 }

@@ -8,14 +8,25 @@ package topo
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an undirected coupling graph over qubits 0..N-1.
+//
+// The first distance or path query lazily builds the graph's distance oracle
+// (see oracle.go) and freezes the topology: AddEdge panics afterwards.
+// Construction is single-threaded; once built, a Graph and its oracle are
+// safe for concurrent read-only use by any number of goroutines.
 type Graph struct {
 	name string
 	n    int
 	adj  [][]int
 	edge map[[2]int]bool
+
+	// Distance oracle, built once on first query (or via EnsureOracle).
+	once   sync.Once
+	orc    *oracle
+	frozen bool
 }
 
 // NewGraph returns an empty coupling graph on n qubits.
@@ -41,6 +52,7 @@ func edgeKey(a, b int) [2]int {
 // AddEdge inserts an undirected coupling between qubits a and b.
 // Adding an existing edge is a no-op.
 func (g *Graph) AddEdge(a, b int) {
+	g.freezeCheck()
 	if a == b {
 		panic(fmt.Sprintf("topo: self edge %d", a))
 	}

@@ -1,0 +1,280 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// registryDevices returns every named device shape the repo routes on, plus
+// small synthetic and disconnected graphs, so oracle equivalence is checked
+// against the legacy BFS on all of them.
+func registryDevices() []*Graph {
+	gs := PaperTopologies()
+	gs = append(gs,
+		FullyConnected(20),
+		Ring(7),
+		Line(9),
+		Grid(3, 4),
+		Clusters(3, 3),
+	)
+	// Disconnected: two separate triangles.
+	d := NewGraph("two-triangles", 6)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(0, 2)
+	d.AddEdge(3, 4)
+	d.AddEdge(4, 5)
+	d.AddEdge(3, 5)
+	gs = append(gs, d)
+	// Single qubit and empty graphs: degenerate but must not crash.
+	gs = append(gs, NewGraph("lonely", 1))
+	return gs
+}
+
+func TestOracleDistancesMatchBFS(t *testing.T) {
+	for _, g := range registryDevices() {
+		want := g.AllPairsDistancesBFS()
+		got := g.AllPairsDistances()
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("%s: AllPairsDistances diverges from BFS\n got %v\nwant %v", g.Name(), got, want)
+		}
+		for src := 0; src < g.NumQubits(); src++ {
+			if !reflect.DeepEqual(g.Distances(src), want[src]) {
+				t.Fatalf("%s: Distances(%d) diverges from BFS", g.Name(), src)
+			}
+			for dst := 0; dst < g.NumQubits(); dst++ {
+				if g.Dist(src, dst) != want[src][dst] {
+					t.Fatalf("%s: Dist(%d,%d)=%d, BFS %d", g.Name(), src, dst, g.Dist(src, dst), want[src][dst])
+				}
+			}
+		}
+	}
+}
+
+// legacyCandidates recomputes the candidate set the legacy BFS path walker
+// enumerated at cur on the way to dst: neighbors one hop closer, adjacency
+// order.
+func legacyCandidates(g *Graph, cur, dst int) []int {
+	distTo := g.DistancesBFS(dst)
+	if cur == dst || distTo[cur] <= 0 {
+		return nil
+	}
+	var cands []int
+	for _, nb := range g.Neighbors(cur) {
+		if distTo[nb] == distTo[cur]-1 {
+			cands = append(cands, nb)
+		}
+	}
+	return cands
+}
+
+func TestOracleCandidateOrderMatchesBFS(t *testing.T) {
+	for _, g := range registryDevices() {
+		n := g.NumQubits()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				got := g.NextHopCandidates(src, dst)
+				want := legacyCandidates(g, src, dst)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(append([]int(nil), got...), want) {
+					t.Fatalf("%s: NextHopCandidates(%d,%d)=%v, legacy BFS order %v", g.Name(), src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleTieBreakPathsMatchBFS drives the oracle walk and the legacy BFS
+// walk with identical seeded RNG prefer hooks and asserts both the chosen
+// paths and the exact candidate slices shown to prefer agree — the contract
+// that keeps every seeded router bit-identical.
+func TestOracleTieBreakPathsMatchBFS(t *testing.T) {
+	for _, g := range registryDevices() {
+		n := g.NumQubits()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				rngO := rand.New(rand.NewSource(int64(src*1009 + dst)))
+				rngB := rand.New(rand.NewSource(int64(src*1009 + dst)))
+				var seenO, seenB [][]int
+				po := g.ShortestPathTieBreak(src, dst, func(cands []int) int {
+					seenO = append(seenO, append([]int(nil), cands...))
+					return rngO.Intn(len(cands))
+				})
+				pb := g.ShortestPathTieBreakBFS(src, dst, func(cands []int) int {
+					seenB = append(seenB, append([]int(nil), cands...))
+					return rngB.Intn(len(cands))
+				})
+				if !reflect.DeepEqual(po, pb) {
+					t.Fatalf("%s: path(%d,%d) oracle %v != BFS %v", g.Name(), src, dst, po, pb)
+				}
+				if !reflect.DeepEqual(seenO, seenB) {
+					t.Fatalf("%s: prefer streams diverge for (%d,%d): oracle %v, BFS %v", g.Name(), src, dst, seenO, seenB)
+				}
+				// Default (nil prefer) tie-break must agree too.
+				if d, b := g.ShortestPathTieBreak(src, dst, nil), g.ShortestPathTieBreakBFS(src, dst, nil); !reflect.DeepEqual(d, b) {
+					t.Fatalf("%s: deterministic path(%d,%d) oracle %v != BFS %v", g.Name(), src, dst, d, b)
+				}
+			}
+		}
+	}
+}
+
+func TestShortestPathAppendReusesBuffer(t *testing.T) {
+	g := Grid5x4()
+	buf := make([]int, 0, 32)
+	for src := 0; src < g.NumQubits(); src++ {
+		for dst := 0; dst < g.NumQubits(); dst++ {
+			p, ok := g.ShortestPathAppend(buf[:0], src, dst, nil)
+			if !ok {
+				t.Fatalf("grid should be connected: (%d,%d)", src, dst)
+			}
+			if want := g.ShortestPath(src, dst); !reflect.DeepEqual(p, want) {
+				t.Fatalf("append path (%d,%d) = %v, want %v", src, dst, p, want)
+			}
+		}
+	}
+	// Unreachable: buffer unchanged, ok false.
+	d := NewGraph("pair", 3)
+	d.AddEdge(0, 1)
+	if _, ok := d.ShortestPathAppend(nil, 0, 2, nil); ok {
+		t.Fatal("expected unreachable")
+	}
+}
+
+// weightFuncs are edge-weight models the weighted oracle must reproduce
+// exactly: unit weights, noisy pseudo-random symmetric weights, and a model
+// with negative values exercising the clamp-to-zero rule.
+func weightFuncs() map[string]func(a, b int) float64 {
+	return map[string]func(a, b int) float64{
+		"unit": func(a, b int) float64 { return 1 },
+		"noise": func(a, b int) float64 {
+			if a > b {
+				a, b = b, a
+			}
+			return -math.Log(0.99 - 0.002*float64((a*31+b*17)%9))
+		},
+		"negative": func(a, b int) float64 {
+			if a > b {
+				a, b = b, a
+			}
+			return float64((a+b)%5) - 1.5
+		},
+	}
+}
+
+func TestWeightedOracleMatchesWeightedPath(t *testing.T) {
+	for _, g := range registryDevices() {
+		for name, w := range weightFuncs() {
+			o := NewWeightedOracle(g, w)
+			n := g.NumQubits()
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					want := g.WeightedPath(src, dst, w)
+					got := o.Path(src, dst)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%s: weighted path(%d,%d) oracle %v != Dijkstra %v", g.Name(), name, src, dst, got, want)
+					}
+					buf, ok := o.PathAppend(make([]int, 0, 8), src, dst)
+					if ok != (want != nil) {
+						t.Fatalf("%s/%s: PathAppend ok=%v, want reachable=%v", g.Name(), name, ok, want != nil)
+					}
+					if ok && !reflect.DeepEqual(buf, want) {
+						t.Fatalf("%s/%s: PathAppend(%d,%d)=%v, want %v", g.Name(), name, src, dst, buf, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOraclePropertyRandomGraphs fuzzes the equivalence over seeded random
+// graphs of varying size and density, including disconnected ones.
+func TestOraclePropertyRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(23)
+		g := NewGraph("rand", n)
+		// Density varies from sparse (often disconnected) to dense.
+		edges := rng.Intn(n * 2)
+		for e := 0; e < edges; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddEdge(a, b)
+			}
+		}
+		want := g.AllPairsDistancesBFS()
+		for src := 0; src < n; src++ {
+			if !reflect.DeepEqual(g.Distances(src), want[src]) {
+				t.Fatalf("trial %d: Distances(%d) diverges", trial, src)
+			}
+			for dst := 0; dst < n; dst++ {
+				got := append([]int(nil), g.NextHopCandidates(src, dst)...)
+				legacy := legacyCandidates(g, src, dst)
+				if len(got) != len(legacy) || (len(legacy) > 0 && !reflect.DeepEqual(got, legacy)) {
+					t.Fatalf("trial %d: candidates(%d,%d) %v != %v", trial, src, dst, got, legacy)
+				}
+				seed := int64(trial*100000 + src*100 + dst)
+				rngO := rand.New(rand.NewSource(seed))
+				rngB := rand.New(rand.NewSource(seed))
+				po := g.ShortestPathTieBreak(src, dst, func(c []int) int { return rngO.Intn(len(c)) })
+				pb := g.ShortestPathTieBreakBFS(src, dst, func(c []int) int { return rngB.Intn(len(c)) })
+				if !reflect.DeepEqual(po, pb) {
+					t.Fatalf("trial %d: path(%d,%d) %v != %v", trial, src, dst, po, pb)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentOracleBuild hammers a fresh graph from many goroutines so
+// the sync.Once build is exercised under the race detector (make race).
+func TestConcurrentOracleBuild(t *testing.T) {
+	g := Johannesburg() // fresh instance, oracle not yet built
+	want := g.AllPairsDistancesBFS()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				src, dst := rng.Intn(20), rng.Intn(20)
+				if g.Dist(src, dst) != want[src][dst] {
+					errs <- "dist mismatch under concurrency"
+					return
+				}
+				p := g.ShortestPathTieBreak(src, dst, func(c []int) int { return rng.Intn(len(c)) })
+				if len(p) != want[src][dst]+1 {
+					errs <- "path length mismatch under concurrency"
+					return
+				}
+				if len(g.EdgeList()) != g.NumEdges() {
+					errs <- "edge list mismatch under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestAddEdgeAfterOraclePanics(t *testing.T) {
+	g := Line(4)
+	_ = g.Distances(0) // freezes
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge after oracle build should panic")
+		}
+	}()
+	g.AddEdge(0, 2)
+}

@@ -1,40 +1,20 @@
 package topo
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
-// Distances returns BFS hop distances from src to every qubit.
-// Unreachable qubits get distance -1.
+// Distances returns the hop distances from src to every qubit (-1 when
+// unreachable) as a row of the precomputed distance oracle. The returned
+// slice is shared; callers must not modify it. (The legacy allocating BFS
+// survives as DistancesBFS for equivalence tests and benchmarks.)
 func (g *Graph) Distances(src int) []int {
-	dist := make([]int, g.n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
-		for _, nb := range g.adj[q] {
-			if dist[nb] < 0 {
-				dist[nb] = dist[q] + 1
-				queue = append(queue, nb)
-			}
-		}
-	}
-	return dist
+	return g.ensureOracle().dist[src]
 }
 
-// AllPairsDistances returns the full hop-distance matrix. For the 20-qubit
-// devices in this repo this is a trivial 20 BFS sweep; passes cache it.
+// AllPairsDistances returns the full hop-distance matrix — the distance
+// oracle's table itself, built once per graph. The matrix is shared; callers
+// must not modify it.
 func (g *Graph) AllPairsDistances() [][]int {
-	d := make([][]int, g.n)
-	for i := 0; i < g.n; i++ {
-		d[i] = g.Distances(i)
-	}
-	return d
+	return g.ensureOracle().dist
 }
 
 // ShortestPath returns one shortest path from src to dst (inclusive of both),
@@ -45,30 +25,52 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 }
 
 // ShortestPathTieBreak returns one shortest path from src to dst. When
-// several predecessors give the same distance, prefer is consulted to choose
+// several next hops give the same distance, prefer is consulted to choose
 // among candidate next hops (it receives the candidate list and returns the
 // chosen index); a nil prefer picks the lowest qubit index. This hook lets
 // the stochastic router sample uniformly among shortest paths with a seeded
 // RNG while keeping the default deterministic.
+//
+// The walk reads the distance oracle's candidate table, which stores next
+// hops in the exact adjacency order the legacy BFS enumerated them — prefer
+// sees identical candidate slices (shared; it must not modify them) and is
+// invoked the same number of times, so seeded tie-break streams are
+// bit-identical to the BFS implementation's.
 func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int) int) []int {
+	o := g.ensureOracle()
 	if src == dst {
 		return []int{src}
 	}
-	distTo := g.Distances(dst)
-	if distTo[src] < 0 {
+	if o.dist[src][dst] < 0 {
 		return nil
 	}
-	path := make([]int, 0, distTo[src]+1)
-	path = append(path, src)
+	path := make([]int, 0, o.dist[src][dst]+1)
+	path, _ = g.appendShortestPath(path, src, dst, prefer)
+	return path
+}
+
+// ShortestPathAppend appends one shortest path from src to dst (inclusive)
+// onto buf, applying the same tie-break contract as ShortestPathTieBreak.
+// ok is false (and buf is returned unchanged) when dst is unreachable. It is
+// the allocation-free form the routers' scratch buffers use.
+func (g *Graph) ShortestPathAppend(buf []int, src, dst int, prefer func(cands []int) int) (path []int, ok bool) {
+	if src == dst {
+		return append(buf, src), true
+	}
+	if g.ensureOracle().dist[src][dst] < 0 {
+		return buf, false
+	}
+	return g.appendShortestPath(buf, src, dst, prefer)
+}
+
+// appendShortestPath walks the candidate table from src to dst. The caller
+// has already ruled out src == dst and unreachability.
+func (g *Graph) appendShortestPath(buf []int, src, dst int, prefer func(cands []int) int) ([]int, bool) {
+	o := g.orc
+	buf = append(buf, src)
 	cur := src
-	cands := make([]int, 0, 4)
 	for cur != dst {
-		cands = cands[:0]
-		for _, nb := range g.adj[cur] {
-			if distTo[nb] == distTo[cur]-1 {
-				cands = append(cands, nb)
-			}
-		}
+		cands := o.candidates(g.n, cur, dst)
 		next := cands[0]
 		if prefer != nil && len(cands) > 1 {
 			next = cands[prefer(cands)]
@@ -79,10 +81,10 @@ func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int) int)
 				}
 			}
 		}
-		path = append(path, next)
+		buf = append(buf, next)
 		cur = next
 	}
-	return path
+	return buf, true
 }
 
 // WeightedPath computes a minimum-weight path from src to dst using Dijkstra
@@ -90,6 +92,10 @@ func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int) int)
 // routing mode, where an edge's weight is -log of its CNOT success rate so
 // that the path weight is -log of the path's success probability.
 // Returns nil if dst is unreachable.
+//
+// This is the per-query form; routers that issue many queries against one
+// weight function should build a WeightedOracle instead, which produces
+// bit-identical paths from precomputed tables.
 func (g *Graph) WeightedPath(src, dst int, weight func(a, b int) float64) []int {
 	dist := make([]float64, g.n)
 	prev := make([]int, g.n)
@@ -99,9 +105,9 @@ func (g *Graph) WeightedPath(src, dst int, weight func(a, b int) float64) []int 
 		prev[i] = -1
 	}
 	dist[src] = 0
-	pq := &pairHeap{{q: src, d: 0}}
+	pq := pairHeap{{q: src, d: 0}}
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pair)
+		it := pq.pop()
 		if done[it.q] {
 			continue
 		}
@@ -117,7 +123,7 @@ func (g *Graph) WeightedPath(src, dst int, weight func(a, b int) float64) []int 
 			if nd := dist[it.q] + w; nd < dist[nb] {
 				dist[nb] = nd
 				prev[nb] = it.q
-				heap.Push(pq, pair{q: nb, d: nd})
+				pq.push(pair{q: nb, d: nd})
 			}
 		}
 	}
@@ -141,16 +147,51 @@ type pair struct {
 	d float64
 }
 
+// pairHeap is a hand-rolled binary min-heap on d, replacing the former
+// container/heap implementation whose interface{} Push/Pop boxed every
+// element. The sift rules mirror container/heap exactly (strict-less
+// comparisons, identical swap order), so pop order — and therefore Dijkstra
+// tie-breaking — is unchanged.
 type pairHeap []pair
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h pairHeap) Len() int { return len(h) }
+
+func (h *pairHeap) push(it pair) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *pairHeap) pop() pair {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift down over s[:n].
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].d < s[j1].d {
+			j = j2
+		}
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
