@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-route lint vet fmt fmt-check bench-json
+.PHONY: all build test race bench bench-route bench-sim lint vet fmt fmt-check bench-json
 
 all: build test
 
@@ -10,10 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent compilation engine, the routers it drives, and
-# the lazily-built per-device distance oracle they all share.
+# Race-check the concurrent compilation engine, the routers it drives, the
+# lazily-built per-device distance oracle they all share, and the simulation
+# engine's parallel sweeps and trajectory workers.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -28,6 +29,16 @@ bench-route:
 # Emit the machine-readable compile-path benchmark for the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/experiments -bench-json BENCH_compile.json
+
+# Simulation-engine benchmark: legacy full-scan kernels vs fused branch-free
+# kernels (serial + parallel), serial Monte-Carlo vs the parallel trajectory
+# backend, and dense vs stabilizer on a 20-qubit Clifford verification.
+# Writes BENCH_sim.json and a BENCH_sim.txt summary. (Redirect, not tee: a
+# pipe would swallow the benchmark's exit status and let a determinism
+# failure pass CI.)
+bench-sim:
+	$(GO) run ./cmd/experiments -sim-bench BENCH_sim.json > BENCH_sim.txt
+	cat BENCH_sim.txt
 
 vet:
 	$(GO) vet ./...

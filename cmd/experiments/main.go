@@ -10,7 +10,9 @@
 //	experiments -exp table1 -workers 8
 //	experiments -exp fig1,fig6,fig7,fig8,fig9,fig10,fig11,fig12
 //	experiments -triplets 35 -shots 8192 -seed 2021
+//	experiments -exp mc-toffoli,mc-rp -mc-shots 128   # trajectory Monte-Carlo suites
 //	experiments -bench-json BENCH_compile.json
+//	experiments -sim-bench BENCH_sim.json
 package main
 
 import (
@@ -26,16 +28,46 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, or all")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, all, or the opt-in trajectory suites mc-toffoli, mc-rp (not included in all)")
 		triplets  = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
 		shots     = flag.Int("shots", 8192, "shots per Toffoli configuration")
 		seed      = flag.Int64("seed", 2021, "random seed")
 		jsonPath  = flag.String("json", "", "also write all results as JSON to this file")
 		workers   = flag.Int("workers", 0, "parallel compilation workers (0 = GOMAXPROCS)")
 		benchJSON = flag.String("bench-json", "", "run only the compile-path benchmark and write its JSON report here (e.g. BENCH_compile.json)")
+		simJSON   = flag.String("sim-bench", "", "run only the simulation-engine benchmark and write its JSON report here (e.g. BENCH_sim.json); a text summary goes to stdout")
+		mcShots   = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
+		mcTrips   = flag.Int("mc-triplets", 4, "random triplets for the mc-toffoli experiment")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
+
+	if *simJSON != "" {
+		report, err := experiments.RunSimBench(*workers, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*simJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.WriteText(os.Stdout)
+		if !report.Deterministic {
+			fmt.Fprintln(os.Stderr, "sim bench: parallel paths diverged from serial results")
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		report, err := experiments.RunCompileBench(*workers, *seed)
@@ -196,6 +228,30 @@ func main() {
 		experiments.WriteScaling(out, points)
 		return nil
 	})
+
+	// Trajectory-backed suites run only when explicitly requested (they
+	// are Monte-Carlo heavy and scale with -workers), never under "all".
+	if want["mc-toffoli"] {
+		fmt.Println("==== mc-toffoli ====")
+		trips := experiments.RandomTriplets(g, *mcTrips, *seed)
+		rs, err := experiments.ToffoliTrajectory(g, trips, noise.Johannesburg0819(), *mcShots, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mc-toffoli: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.WriteToffoliTrajectory(out, *mcShots, rs)
+		fmt.Println()
+	}
+	if want["mc-rp"] {
+		fmt.Println("==== mc-rp ====")
+		rs, err := experiments.RPTrajectory(noise.Johannesburg0819(), 5, *mcShots, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mc-rp: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.WriteRPTrajectory(out, *mcShots, rs)
+		fmt.Println()
+	}
 
 	run("fig12", func() error {
 		base := noise.Johannesburg0819()

@@ -25,7 +25,6 @@ import (
 	"trios/internal/noise"
 	"trios/internal/qasm"
 	"trios/internal/sim"
-	"trios/internal/stab"
 	"trios/internal/topo"
 )
 
@@ -225,64 +224,42 @@ func parseModel(s string) (noise.Params, error) {
 	return base.Improved(factor), nil
 }
 
-// verifyResult checks compiled-vs-source equivalence with the cheapest
-// applicable method and names the method used.
+// verifyResult checks compiled-vs-source equivalence through the simulation
+// engine, which auto-selects the backend: Clifford circuits go to the
+// stabilizer tableau (exact at any device size), everything else to the
+// fused-kernel statevector up to the dense cap. Classical sources on devices
+// too large to hold a statevector fall back to basis-state spot checks.
 func verifyResult(input *circuit.Circuit, res *compiler.Result) (string, error) {
 	n := input.NumQubits
 	devQubits := res.Graph.NumQubits()
-	stripped := input.Copy()
-	stripped.Gates = nil
-	for _, g := range input.Gates {
-		if g.Name != circuit.Measure {
-			stripped.Append(g)
-		}
-	}
-	physical := res.Physical.Copy()
-	physical.Gates = nil
-	for _, g := range res.Physical.Gates {
-		if g.Name != circuit.Measure {
-			physical.Append(g)
-		}
-	}
+	stripped := input.StripPseudo()
+	physical := res.Physical.StripPseudo()
 
-	// Clifford circuits verify exactly at any size with the tableau sim.
-	if stab.IsClifford(stripped) && stab.IsClifford(physical) {
-		ref := stab.NewState(devQubits)
-		mapped := stripped.Remap(devQubits, func(v int) int { return res.Initial[v] })
-		if err := ref.ApplyCircuit(mapped); err != nil {
-			return "", err
-		}
-		perm := make([]int, devQubits)
-		for v := 0; v < devQubits; v++ {
-			perm[res.Initial[v]] = res.Final[v]
-		}
-		want := ref.PermuteQubits(perm)
-		got := stab.NewState(devQubits)
-		if err := got.ApplyCircuit(physical); err != nil {
-			return "", err
-		}
-		if !got.Equal(want) {
-			return "", fmt.Errorf("stabilizer states differ")
-		}
-		return "stabilizer tableau, exact", nil
-	}
-
-	// Small devices verify with random statevectors.
-	if devQubits <= 14 {
-		ok, err := sim.CompiledEquivalent(stripped, physical, devQubits,
+	eng := &sim.Engine{}
+	clifford := circuit.IsClifford(stripped) && circuit.IsClifford(physical)
+	// The engine covers Clifford circuits at any device size and dense
+	// verification up to its cap. Prefer cheap classical spot checks over a
+	// huge statevector when the source is classical and the device large.
+	if clifford || devQubits <= 14 || (devQubits <= sim.MaxQubits && !sim.IsClassical(stripped)) {
+		v, err := eng.VerifyCompiled(stripped, physical, devQubits,
 			res.Initial[:n], res.Final[:n], 3, 12345)
 		if err != nil {
 			return "", err
 		}
-		if !ok {
-			return "", fmt.Errorf("statevector outputs differ")
+		if !v.Equivalent {
+			return "", fmt.Errorf("%s backend: compiled state differs from source", v.Backend)
 		}
-		return "statevector, 3 random states", nil
+		switch v.Backend {
+		case "stabilizer":
+			return "engine: stabilizer tableau, exact", nil
+		default:
+			return "engine: statevector (fused kernels), 3 random states", nil
+		}
 	}
 
-	// Large non-Clifford circuits: basis-state spot checks through the
-	// statevector (the compiled circuit must map prepared basis inputs the
-	// same way the source does when the source is classical-in/out).
+	// Large non-Clifford classical circuits: basis-state spot checks through
+	// the statevector (the compiled circuit must map prepared basis inputs
+	// the same way the source does when the source is classical-in/out).
 	for _, in := range []uint64{0, (1 << uint(n)) - 1, 0b1010101 & ((1 << uint(n)) - 1)} {
 		srcOut, err := sim.ClassicalOutput(stripped, in)
 		if err != nil {

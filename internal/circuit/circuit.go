@@ -120,6 +120,29 @@ func (c *Circuit) Copy() *Circuit {
 	return out
 }
 
+// StripPseudo returns the circuit without Measure and Barrier pseudo-ops,
+// as the simulation engine's equivalence paths require. When the circuit
+// has no pseudo-ops the receiver itself is returned — treat the result as
+// read-only.
+func (c *Circuit) StripPseudo() *Circuit {
+	pseudo := 0
+	for _, g := range c.Gates {
+		if g.IsPseudo() {
+			pseudo++
+		}
+	}
+	if pseudo == 0 {
+		return c
+	}
+	out := New(c.NumQubits)
+	for _, g := range c.Gates {
+		if !g.IsPseudo() {
+			out.Append(g)
+		}
+	}
+	return out
+}
+
 // Inverse returns the adjoint circuit: gates reversed and each inverted.
 // Pseudo-ops (measure, barrier) are not meaningful to invert and cause a panic.
 func (c *Circuit) Inverse() *Circuit {

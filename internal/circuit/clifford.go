@@ -1,0 +1,71 @@
+package circuit
+
+import "math"
+
+// cliffordAngleTol is the absolute slack allowed when classifying a rotation
+// angle as a multiple of pi/2. It matches the stabilizer simulator's angle
+// tolerance so the classifier and the backend agree on every gate.
+const cliffordAngleTol = 1e-9
+
+// QuarterTurns classifies an angle as a multiple of pi/2, returning the
+// multiple in {0, 1, 2, 3} or -1 if the angle is not within tolerance of any
+// quarter turn.
+func QuarterTurns(a float64) int {
+	k := math.Round(a / (math.Pi / 2))
+	if math.Abs(a-k*(math.Pi/2)) > cliffordAngleTol {
+		return -1
+	}
+	return ((int(k) % 4) + 4) % 4
+}
+
+// IsCliffordGate reports whether a gate is recognized as Clifford — i.e.
+// whether the stabilizer tableau backend can apply it exactly. Parametrized
+// gates are Clifford when every angle is a multiple of pi/2 (CP additionally
+// needs a multiple of pi, since CP(pi/2) is the non-Clifford controlled-S).
+// Measure and Barrier are pseudo-ops, not unitaries, and return false;
+// circuit-level classification skips them instead.
+func IsCliffordGate(g Gate) bool {
+	switch g.Name {
+	case I, X, Y, Z, H, S, Sdg, SX, SXdg, CX, CZ, SWAP:
+		return true
+	case RX, RY, RZ, U1:
+		return QuarterTurns(g.Params[0]) >= 0
+	case CP:
+		return QuarterTurns(g.Params[0])%2 == 0
+	case U2:
+		return QuarterTurns(g.Params[0]) >= 0 && QuarterTurns(g.Params[1]) >= 0
+	case U3:
+		return QuarterTurns(g.Params[0]) >= 0 && QuarterTurns(g.Params[1]) >= 0 &&
+			QuarterTurns(g.Params[2]) >= 0
+	}
+	// T, Tdg, CCX, CCZ, RCCX, RCCXdg, MCX, Measure, Barrier.
+	return false
+}
+
+// CliffordPrefix returns the number of leading gates of the circuit that are
+// Clifford (pseudo-ops count as transparent: a Measure or Barrier inside a
+// Clifford prefix does not end it). A return value of len(c.Gates) means the
+// whole circuit is Clifford.
+func CliffordPrefix(c *Circuit) int {
+	for i, g := range c.Gates {
+		if g.IsPseudo() {
+			continue
+		}
+		if !IsCliffordGate(g) {
+			return i
+		}
+	}
+	return len(c.Gates)
+}
+
+// IsClifford reports whether every unitary gate of the circuit is Clifford,
+// ignoring Measure and Barrier pseudo-ops. Clifford circuits simulate in
+// polynomial time on the stabilizer tableau backend, so the simulation
+// engine auto-dispatches them there regardless of qubit count.
+//
+// This is a purely structural classification (gate names and angles); it
+// agrees gate-for-gate with what internal/stab accepts, which the stab test
+// suite cross-checks.
+func IsClifford(c *Circuit) bool {
+	return CliffordPrefix(c) == len(c.Gates)
+}

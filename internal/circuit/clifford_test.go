@@ -1,0 +1,96 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIsCliffordGateNamed(t *testing.T) {
+	yes := []Gate{
+		NewGate(I, []int{0}), NewGate(X, []int{0}), NewGate(Y, []int{0}),
+		NewGate(Z, []int{0}), NewGate(H, []int{0}), NewGate(S, []int{0}),
+		NewGate(Sdg, []int{0}), NewGate(SX, []int{0}), NewGate(SXdg, []int{0}),
+		NewGate(CX, []int{0, 1}), NewGate(CZ, []int{0, 1}), NewGate(SWAP, []int{0, 1}),
+	}
+	for _, g := range yes {
+		if !IsCliffordGate(g) {
+			t.Errorf("%v should be Clifford", g)
+		}
+	}
+	no := []Gate{
+		NewGate(T, []int{0}), NewGate(Tdg, []int{0}),
+		NewGate(CCX, []int{0, 1, 2}), NewGate(CCZ, []int{0, 1, 2}),
+		NewGate(RCCX, []int{0, 1, 2}), NewGate(RCCXdg, []int{0, 1, 2}),
+		NewGate(MCX, []int{0, 1, 2, 3}),
+		NewGate(Measure, []int{0}),
+	}
+	for _, g := range no {
+		if IsCliffordGate(g) {
+			t.Errorf("%v should not be Clifford", g)
+		}
+	}
+}
+
+func TestIsCliffordGateAngles(t *testing.T) {
+	for k := 0; k < 8; k++ {
+		a := float64(k) * math.Pi / 2
+		for _, n := range []Name{RX, RY, RZ, U1} {
+			if !IsCliffordGate(NewGate(n, []int{0}, a)) {
+				t.Errorf("%v(%d*pi/2) should be Clifford", n, k)
+			}
+		}
+		// CP is Clifford only at multiples of pi.
+		want := k%2 == 0
+		if got := IsCliffordGate(NewGate(CP, []int{0, 1}, a)); got != want {
+			t.Errorf("cp(%d*pi/2) Clifford = %v, want %v", k, got, want)
+		}
+	}
+	for _, a := range []float64{math.Pi / 4, 0.3, -math.Pi / 3, 1e-6} {
+		for _, n := range []Name{RX, RY, RZ, U1} {
+			if IsCliffordGate(NewGate(n, []int{0}, a)) {
+				t.Errorf("%v(%g) should not be Clifford", n, a)
+			}
+		}
+	}
+	if !IsCliffordGate(NewGate(U2, []int{0}, math.Pi, -math.Pi/2)) {
+		t.Error("u2(pi, -pi/2) should be Clifford")
+	}
+	if IsCliffordGate(NewGate(U3, []int{0}, math.Pi/2, math.Pi/4, 0)) {
+		t.Error("u3 with pi/4 phase should not be Clifford")
+	}
+}
+
+func TestCliffordPrefix(t *testing.T) {
+	c := New(2)
+	c.H(0).CX(0, 1).Measure(0).T(1).H(1)
+	if got := CliffordPrefix(c); got != 3 {
+		t.Errorf("prefix = %d, want 3 (H, CX, Measure)", got)
+	}
+	if IsClifford(c) {
+		t.Error("circuit with T should not classify as Clifford")
+	}
+	cl := New(3)
+	cl.H(0).CX(0, 1).S(2).Barrier().CZ(1, 2).Measure(0).Measure(1)
+	if !IsClifford(cl) {
+		t.Error("H/CX/S/CZ circuit should classify as Clifford")
+	}
+	if got := CliffordPrefix(cl); got != len(cl.Gates) {
+		t.Errorf("full-Clifford prefix = %d, want %d", got, len(cl.Gates))
+	}
+}
+
+func TestQuarterTurns(t *testing.T) {
+	cases := []struct {
+		a    float64
+		want int
+	}{
+		{0, 0}, {math.Pi / 2, 1}, {math.Pi, 2}, {3 * math.Pi / 2, 3},
+		{2 * math.Pi, 0}, {-math.Pi / 2, 3}, {-math.Pi, 2},
+		{math.Pi / 4, -1}, {1.0, -1},
+	}
+	for _, tc := range cases {
+		if got := QuarterTurns(tc.a); got != tc.want {
+			t.Errorf("QuarterTurns(%g) = %d, want %d", tc.a, got, tc.want)
+		}
+	}
+}

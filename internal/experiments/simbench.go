@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/sim"
+	"trios/internal/stab"
+	"trios/internal/topo"
+)
+
+// SimBenchRun is one timed simulation workload.
+type SimBenchRun struct {
+	Name        string  `json:"name"`
+	Backend     string  `json:"backend"`
+	Qubits      int     `json:"qubits"`
+	Gates       int     `json:"gates"`
+	Trials      int     `json:"trials,omitempty"`
+	Shots       int     `json:"shots,omitempty"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// SimBenchReport is the machine-readable simulation benchmark CI emits as
+// BENCH_sim.json: the dense verification workload on the legacy full-scan
+// loops vs the fused branch-free kernels (serial and parallel), the 10k-shot
+// Monte-Carlo workload on the legacy serial sampler vs the engine's
+// trajectory backend, and a 20-qubit Clifford verification on the dense
+// baseline vs the stabilizer dispatch.
+type SimBenchReport struct {
+	Seed       int64         `json:"seed"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Runs       []SimBenchRun `json:"runs"`
+	// KernelSpeedup is the serial legacy full-scan baseline over the serial
+	// fused kernels on the dense verification workload.
+	KernelSpeedup float64 `json:"kernel_speedup"`
+	// VerifySpeedup is the serial legacy baseline over the engine's fused
+	// kernels at the benchmark's worker count (fusion + branch-free sweeps
+	// + chunk parallelism when cores allow).
+	VerifySpeedup float64 `json:"verify_speedup"`
+	// TrajectorySpeedup is the legacy serial Monte-Carlo over the engine's
+	// trajectory backend on the 10k-shot workload.
+	TrajectorySpeedup float64 `json:"trajectory_speedup"`
+	// CliffordVerifySpeedup is the dense serial baseline over the
+	// stabilizer backend on the 20-qubit Clifford verification workload —
+	// the engine's auto-dispatch win.
+	CliffordVerifySpeedup float64 `json:"clifford_verify_speedup"`
+	// ParallelSpeedup compares the serial fused run against the parallel
+	// fused run. It is omitted (with ParallelSpeedupNote) when the run had
+	// only one effective worker — min(workers, GOMAXPROCS) <= 1 — because
+	// the two runs then measure the same serial execution.
+	ParallelSpeedup     float64 `json:"parallel_speedup,omitempty"`
+	ParallelSpeedupNote string  `json:"parallel_speedup_note,omitempty"`
+	// Deterministic is true when the parallel paths reproduced the serial
+	// results exactly: fused parallel amplitudes bit-identical to fused
+	// serial, and engine Monte-Carlo identical at 1 and N workers.
+	Deterministic bool `json:"deterministic"`
+}
+
+// simBenchCircuit builds a compiled-circuit-shaped workload: runs of 1q
+// u-gates punctuated by CNOTs, the gate mix the fused kernels target.
+func simBenchCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			c.U3(rng.Float64()*3, rng.Float64()*6, rng.Float64()*6, rng.Intn(n))
+		case 2:
+			c.U1(rng.Float64()*6, rng.Intn(n))
+		default:
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+// cliffordBenchCircuit builds a 20-qubit Clifford workload.
+func cliffordBenchCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.S(rng.Intn(n))
+		default:
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+// RunSimBench times the simulation workloads and cross-checks determinism.
+// workers <= 0 means GOMAXPROCS.
+func RunSimBench(workers int, seed int64) (*SimBenchReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxprocs := runtime.GOMAXPROCS(0)
+	report := &SimBenchReport{Seed: seed, GOMAXPROCS: maxprocs, Deterministic: true}
+	rng := rand.New(rand.NewSource(seed))
+
+	// --- Dense verification workload: 16 qubits, 400 gates, 3 trials. ---
+	const (
+		vQubits = 16
+		vGates  = 400
+		vTrials = 3
+	)
+	vc := simBenchCircuit(rng, vQubits, vGates)
+	prog, err := sim.Fuse(vc, vQubits)
+	if err != nil {
+		return nil, err
+	}
+	var legacyOut, fusedOut, parOut *sim.State
+	legacySec := timed(func() error {
+		for t := 0; t < vTrials; t++ {
+			s := sim.NewRandomState(vQubits, seed+int64(t))
+			if err := s.LegacyApplyCircuit(vc); err != nil {
+				return err
+			}
+			legacyOut = s
+		}
+		return nil
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	fusedSec := timed(func() error {
+		for t := 0; t < vTrials; t++ {
+			s := sim.NewRandomState(vQubits, seed+int64(t))
+			if err := prog.Run(s, 1); err != nil {
+				return err
+			}
+			fusedOut = s
+		}
+		return nil
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	parSec := timed(func() error {
+		for t := 0; t < vTrials; t++ {
+			s := sim.NewRandomState(vQubits, seed+int64(t))
+			if err := prog.Run(s, workers); err != nil {
+				return err
+			}
+			parOut = s
+		}
+		return nil
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	// Fused must match legacy to verification tolerance; parallel must match
+	// serial fused bit-for-bit.
+	if legacyOut.Fidelity(fusedOut) < 1-1e-9 {
+		report.Deterministic = false
+	}
+	for i := uint64(0); i < 1<<vQubits; i++ {
+		if fusedOut.Amplitude(i) != parOut.Amplitude(i) {
+			report.Deterministic = false
+			break
+		}
+	}
+	report.Runs = append(report.Runs,
+		SimBenchRun{Name: "verify-dense-legacy", Backend: "dense", Qubits: vQubits, Gates: vGates, Trials: vTrials, Workers: 1, WallSeconds: legacySec},
+		SimBenchRun{Name: "verify-dense-fused", Backend: "dense", Qubits: vQubits, Gates: vGates, Trials: vTrials, Workers: 1, WallSeconds: fusedSec},
+		SimBenchRun{Name: "verify-dense-fused-parallel", Backend: "dense", Qubits: vQubits, Gates: vGates, Trials: vTrials, Workers: workers, WallSeconds: parSec},
+	)
+	if fusedSec > 0 {
+		report.KernelSpeedup = legacySec / fusedSec
+	}
+	if parSec > 0 {
+		report.VerifySpeedup = legacySec / parSec
+	}
+	effective := workers
+	if maxprocs < effective {
+		effective = maxprocs
+	}
+	if effective <= 1 {
+		report.ParallelSpeedupNote = fmt.Sprintf("parallel run had %d effective worker(s) (workers=%d, GOMAXPROCS=%d); speedup suppressed as meaningless", effective, workers, maxprocs)
+	} else if parSec > 0 {
+		report.ParallelSpeedup = fusedSec / parSec
+	}
+
+	// --- Trajectory workload: compiled Toffoli, 10k shots. ---
+	src := circuit.New(3)
+	src.X(0)
+	src.X(1)
+	src.CCX(0, 1, 2)
+	for q := 0; q < 3; q++ {
+		src.Measure(q)
+	}
+	res, err := compiler.Compile(src, topo.Line(8), compiler.Options{
+		Pipeline:      compiler.TriosPipeline,
+		InitialLayout: []int{0, 3, 6},
+		Seed:          seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pn := sim.PauliNoise{OneQubitError: 0.001, TwoQubitError: 0.01, ReadoutError: 0.01}
+	var expect, mask uint64
+	for v := 0; v < 3; v++ {
+		expect |= 1 << uint(res.Final[v])
+		mask |= 1 << uint(res.Final[v])
+	}
+	const shots = 10000
+	var mcLegacy, mcEngine, mcEngineSerial float64
+	legacyMCSec := timed(func() error {
+		mcLegacy, err = sim.MonteCarloSuccessLegacy(res.Physical, pn, expect, mask, shots, seed)
+		return err
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	engineMCSec := timed(func() error {
+		mcEngine, err = (&sim.Engine{Workers: workers}).MonteCarlo(res.Physical, pn, expect, mask, shots, seed)
+		return err
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	if mcEngineSerial, err = (&sim.Engine{Workers: 1}).MonteCarlo(res.Physical, pn, expect, mask, shots, seed); err != nil {
+		return nil, err
+	}
+	if mcEngine != mcEngineSerial {
+		report.Deterministic = false
+	}
+	// Sanity: both estimators sample the same distribution.
+	if diff := mcLegacy - mcEngine; diff > 0.05 || diff < -0.05 {
+		report.Deterministic = false
+	}
+	nPhys := res.Physical.NumQubits
+	nGates := len(res.Physical.Gates)
+	report.Runs = append(report.Runs,
+		SimBenchRun{Name: "mc-toffoli-legacy-serial", Backend: "dense", Qubits: nPhys, Gates: nGates, Shots: shots, Workers: 1, WallSeconds: legacyMCSec},
+		SimBenchRun{Name: "mc-toffoli-engine", Backend: "dense", Qubits: nPhys, Gates: nGates, Shots: shots, Workers: workers, WallSeconds: engineMCSec},
+	)
+	if engineMCSec > 0 {
+		report.TrajectorySpeedup = legacyMCSec / engineMCSec
+	}
+
+	// --- Clifford verification: 20 qubits, dense baseline vs stabilizer. ---
+	const (
+		cQubits = 20
+		cGates  = 300
+	)
+	cc := cliffordBenchCircuit(rng, cQubits, cGates)
+	denseSec := timed(func() error {
+		s := sim.NewState(cQubits)
+		return s.LegacyApplyCircuit(cc)
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	stabSec := timed(func() error {
+		s := stab.NewState(cQubits)
+		return s.ApplyCircuit(cc)
+	}, &err)
+	if err != nil {
+		return nil, err
+	}
+	report.Runs = append(report.Runs,
+		SimBenchRun{Name: "clifford-20q-dense-legacy", Backend: "dense", Qubits: cQubits, Gates: cGates, Workers: 1, WallSeconds: denseSec},
+		SimBenchRun{Name: "clifford-20q-stabilizer", Backend: "stabilizer", Qubits: cQubits, Gates: cGates, Workers: 1, WallSeconds: stabSec},
+	)
+	if stabSec > 0 {
+		report.CliffordVerifySpeedup = denseSec / stabSec
+	}
+	return report, nil
+}
+
+// timed runs f and returns its wall-clock seconds; errors propagate through
+// errp.
+func timed(f func() error, errp *error) float64 {
+	start := time.Now()
+	if err := f(); err != nil {
+		*errp = err
+		return 0
+	}
+	*errp = nil
+	return time.Since(start).Seconds()
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *SimBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: encoding sim bench: %w", err)
+	}
+	return nil
+}
+
+// WriteText prints a human-readable summary.
+func (r *SimBenchReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Simulation engine benchmark (seed %d, GOMAXPROCS %d)\n", r.Seed, r.GOMAXPROCS)
+	fmt.Fprintf(w, "%-30s %-11s %7s %6s %7s %7s %8s %12s\n",
+		"workload", "backend", "qubits", "gates", "trials", "shots", "workers", "seconds")
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%-30s %-11s %7d %6d %7d %7d %8d %12.4f\n",
+			run.Name, run.Backend, run.Qubits, run.Gates, run.Trials, run.Shots, run.Workers, run.WallSeconds)
+	}
+	fmt.Fprintf(w, "kernel speedup (legacy/fused serial):      %.2fx\n", r.KernelSpeedup)
+	fmt.Fprintf(w, "verify speedup (legacy/engine):            %.2fx\n", r.VerifySpeedup)
+	fmt.Fprintf(w, "trajectory speedup (legacy/engine):        %.2fx\n", r.TrajectorySpeedup)
+	fmt.Fprintf(w, "clifford verify speedup (dense/stab, 20q): %.2fx\n", r.CliffordVerifySpeedup)
+	if r.ParallelSpeedupNote != "" {
+		fmt.Fprintf(w, "parallel speedup: %s\n", r.ParallelSpeedupNote)
+	} else {
+		fmt.Fprintf(w, "parallel speedup (fused serial/parallel):  %.2fx\n", r.ParallelSpeedup)
+	}
+	fmt.Fprintf(w, "deterministic: %v\n", r.Deterministic)
+}

@@ -1,0 +1,259 @@
+// Trajectory-backend experiment suites: the Toffoli-triplet and
+// relative-phase comparisons re-estimated with the simulation engine's
+// parallel Monte-Carlo error injection instead of the closed-form model.
+//
+// The closed form counts any error event as failure; a trajectory can still
+// measure the right answer after errors commute through or cancel, so the
+// trajectory column upper-bounds the closed form. Both columns here charge
+// gate and readout errors only (the trajectory model has no decoherence
+// term), so the closed form is recomputed with coherence disabled for an
+// apples-to-apples comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/noise"
+	"trios/internal/sim"
+	"trios/internal/topo"
+)
+
+// pauliFromModel converts the closed-form model's per-gate error rates to
+// the trajectory model's per-operand rates: the Pauli sampler charges each
+// operand of a two-qubit gate independently, so its rate solves
+// (1-p)^2 = 1-e2.
+func pauliFromModel(model noise.Params) sim.PauliNoise {
+	return sim.PauliNoise{
+		OneQubitError: model.OneQubitError,
+		TwoQubitError: 1 - math.Sqrt(1-model.TwoQubitError),
+		ReadoutError:  model.ReadoutError,
+	}
+}
+
+// gatesOnly disables the decoherence term so the closed form charges
+// exactly what the trajectory model charges.
+func gatesOnly(model noise.Params) noise.Params {
+	model.T1, model.T2 = 1e12, 1e12
+	return model
+}
+
+// TrajectorySuccess estimates the probability that one noisy execution of a
+// compiled classical circuit measures the correct output for the all-zeros
+// input, on the engine's trajectory backend. The expected bitstring is the
+// logical circuit's classical output mapped through the final layout, and
+// the comparison covers the logical qubits' final positions.
+//
+// Measure gates are stripped from the compiled circuit before simulation:
+// in a compiled gate list a Measure is a readout marker, and routing fixup
+// passes may relocate a measured wire afterwards — the final layout already
+// accounts for that, so readout happens at the end at final positions (the
+// engine would otherwise reject the relocation as an unmodeled mid-circuit
+// measurement).
+func TrajectorySuccess(eng *sim.Engine, logical *circuit.Circuit, res *compiler.Result, pn sim.PauliNoise, shots int, seed int64) (float64, error) {
+	out, err := sim.ClassicalRun(logical.StripPseudo(), 0)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: logical circuit is not classical: %w", err)
+	}
+	var expect, mask uint64
+	for v := 0; v < logical.NumQubits; v++ {
+		mask |= 1 << uint(res.Final[v])
+		if out&(1<<uint(v)) != 0 {
+			expect |= 1 << uint(res.Final[v])
+		}
+	}
+	return eng.MonteCarlo(res.Physical.StripPseudo(), pn, expect, mask, shots, seed)
+}
+
+// ToffoliTrajectoryResult is one row of the trajectory-backed Toffoli
+// experiment: per configuration, the CNOT count, the gate+readout closed
+// form, and the trajectory estimate.
+type ToffoliTrajectoryResult struct {
+	Triplet    [3]int
+	Distance   int
+	CNOTs      [4]int
+	ClosedForm [4]float64
+	Trajectory [4]float64
+}
+
+// ToffoliTrajectory compiles a Toffoli for every triplet under the four
+// standard configurations (fanning out across the batch engine) and
+// estimates success with parallel Monte-Carlo error injection on each
+// compiled circuit. Shots fan out across engine workers with per-shot
+// seeds, so results are identical for any worker count.
+func ToffoliTrajectory(g *topo.Graph, triplets [][3]int, model noise.Params, shots int, seed int64) ([]ToffoliTrajectoryResult, error) {
+	src := circuit.New(3)
+	src.X(0)
+	src.X(1)
+	src.CCX(0, 1, 2)
+	for q := 0; q < 3; q++ {
+		src.Measure(q)
+	}
+	jobs := make([]compiler.Job, 0, len(triplets)*len(ToffoliConfigs))
+	for _, trip := range triplets {
+		trip := trip
+		for ci, cfg := range ToffoliConfigs {
+			jobs = append(jobs, compiler.Job{
+				ID:    fmt.Sprintf("mc-toffoli %v %s", trip, cfg.Label),
+				Input: src,
+				Graph: g,
+				Opts: compiler.Options{
+					Pipeline:      cfg.Pipeline,
+					Mode:          cfg.Mode,
+					Router:        compiler.RouteStochastic,
+					InitialLayout: trip[:],
+					Seed:          seed + int64(ci),
+				},
+			})
+		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	eng := &sim.Engine{Workers: Workers}
+	analyticModel := gatesOnly(model)
+	pn := pauliFromModel(model)
+	results := make([]ToffoliTrajectoryResult, 0, len(triplets))
+	for ti, trip := range triplets {
+		r := ToffoliTrajectoryResult{Triplet: trip, Distance: TripletDistance(g, trip)}
+		for ci, cfg := range ToffoliConfigs {
+			jr := rs[ti*len(ToffoliConfigs)+ci]
+			if jr.Err != nil {
+				return nil, fmt.Errorf("experiments: triplet %v config %q: %w", trip, cfg.Label, jr.Err)
+			}
+			if err := jr.Result.Verify(); err != nil {
+				return nil, err
+			}
+			r.CNOTs[ci] = jr.Result.TwoQubitGates()
+			cf, err := noise.SuccessProbability(jr.Result.Physical, analyticModel)
+			if err != nil {
+				return nil, err
+			}
+			r.ClosedForm[ci] = cf
+			mc, err := TrajectorySuccess(eng, src, jr.Result, pn, shots, seed+int64(ti*len(ToffoliConfigs)+ci))
+			if err != nil {
+				return nil, err
+			}
+			r.Trajectory[ci] = mc
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteToffoliTrajectory prints the trajectory-backed Toffoli comparison.
+func WriteToffoliTrajectory(w io.Writer, shots int, results []ToffoliTrajectoryResult) {
+	fmt.Fprintf(w, "Toffoli success via trajectory Monte-Carlo (%d shots; gate+readout errors)\n", shots)
+	fmt.Fprintf(w, "Trajectory >= closed form: errors can commute through or cancel.\n")
+	fmt.Fprintf(w, "%-12s %4s", "triplet", "dist")
+	for _, cfg := range ToffoliConfigs {
+		fmt.Fprintf(w, "  %-24s", cfg.Label)
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12s %4d", fmt.Sprintf("%v", r.Triplet), r.Distance)
+		for ci := range ToffoliConfigs {
+			fmt.Fprintf(w, "  cf %.3f mc %.3f (%3d cx)", r.ClosedForm[ci], r.Trajectory[ci], r.CNOTs[ci])
+		}
+		fmt.Fprintln(w)
+	}
+	for ci := range ToffoliConfigs {
+		cf := GeoMeanColumn2(results, func(r ToffoliTrajectoryResult) [4]float64 { return r.ClosedForm }, ci)
+		mc := GeoMeanColumn2(results, func(r ToffoliTrajectoryResult) [4]float64 { return r.Trajectory }, ci)
+		fmt.Fprintf(w, "geomean %-28s closed form %.4f  trajectory %.4f\n", ToffoliConfigs[ci].Label, cf, mc)
+	}
+}
+
+// GeoMeanColumn2 is GeoMeanColumn for the trajectory result type.
+func GeoMeanColumn2(rs []ToffoliTrajectoryResult, metric func(ToffoliTrajectoryResult) [4]float64, ci int) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = metric(r)[ci]
+	}
+	return GeoMean(vals)
+}
+
+// RPTrajectoryResult compares exact vs relative-phase compilation under
+// trajectory noise for one case.
+type RPTrajectoryResult struct {
+	Benchmark  string
+	Topology   string
+	ExactCNOTs int
+	RPCNOTs    int
+	ExactCF    float64
+	RPCF       float64
+	ExactMC    float64
+	RPMC       float64
+}
+
+// RPTrajectory re-runs the relative-phase comparison on the trajectory
+// backend with a scaled-down CnX ladder (the ladder is classical, so
+// correctness of each noisy run is checkable against the logical truth
+// table). The device is a line sized to the circuit, keeping dense
+// trajectories cheap; the exact-vs-RP CNOT tradeoff it measures is the same
+// one the closed-form suite reports on the paper topologies.
+func RPTrajectory(model noise.Params, controls, shots int, seed int64) ([]RPTrajectoryResult, error) {
+	exact, err := benchmarks.CnXLogAncilla(controls)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := benchmarks.CnXLogAncillaRP(controls)
+	if err != nil {
+		return nil, err
+	}
+	n := exact.NumQubits
+	if rp.NumQubits > n {
+		n = rp.NumQubits
+	}
+	g := topo.Line(n + 2)
+	opts := compiler.Options{Pipeline: compiler.TriosPipeline, Placement: compiler.PlaceGreedy, Seed: seed}
+	jobs := []compiler.Job{
+		{ID: "mc-rp exact", Input: exact, Graph: g, Opts: opts},
+		{ID: "mc-rp rp", Input: rp, Graph: g, Opts: opts},
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, jr := range rs {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("experiments: mc-rp job %d: %w", i, jr.Err)
+		}
+	}
+	eng := &sim.Engine{Workers: Workers}
+	analyticModel := gatesOnly(model)
+	pn := pauliFromModel(model)
+	name := fmt.Sprintf("cnx_logancilla(%d)", controls)
+	row := RPTrajectoryResult{Benchmark: name, Topology: g.Name()}
+	row.ExactCNOTs = rs[0].Result.TwoQubitGates()
+	row.RPCNOTs = rs[1].Result.TwoQubitGates()
+	if row.ExactCF, err = noise.SuccessProbability(rs[0].Result.Physical, analyticModel); err != nil {
+		return nil, err
+	}
+	if row.RPCF, err = noise.SuccessProbability(rs[1].Result.Physical, analyticModel); err != nil {
+		return nil, err
+	}
+	if row.ExactMC, err = TrajectorySuccess(eng, exact, rs[0].Result, pn, shots, seed); err != nil {
+		return nil, err
+	}
+	if row.RPMC, err = TrajectorySuccess(eng, rp, rs[1].Result, pn, shots, seed+1); err != nil {
+		return nil, err
+	}
+	return []RPTrajectoryResult{row}, nil
+}
+
+// WriteRPTrajectory prints the trajectory-backed relative-phase comparison.
+func WriteRPTrajectory(w io.Writer, shots int, results []RPTrajectoryResult) {
+	fmt.Fprintf(w, "Relative-phase trios under trajectory Monte-Carlo (%d shots; gate+readout errors)\n", shots)
+	fmt.Fprintf(w, "%-22s %-12s %6s %6s %10s %10s %10s %10s\n",
+		"benchmark", "topology", "exact", "rp", "exact cf", "rp cf", "exact mc", "rp mc")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-22s %-12s %6d %6d %10.4f %10.4f %10.4f %10.4f\n",
+			r.Benchmark, r.Topology, r.ExactCNOTs, r.RPCNOTs, r.ExactCF, r.RPCF, r.ExactMC, r.RPMC)
+	}
+}

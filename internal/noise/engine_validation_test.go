@@ -1,0 +1,77 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"trios/internal/circuit"
+	"trios/internal/sim"
+)
+
+// TestClosedFormAgainstEngineTrajectories validates the paper's closed-form
+// success estimate against the simulation engine's parallel trajectory
+// backend. The closed form counts every error event as failure, while a
+// trajectory can still measure the right answer after an error commutes
+// through or cancels, so trajectories must sit at or above the closed form
+// (within sampling error) and track it closely at small rates.
+func TestClosedFormAgainstEngineTrajectories(t *testing.T) {
+	c := circuit.New(4)
+	c.X(0)
+	c.H(3)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	c.T(2)
+	c.Tdg(2)
+	c.CX(1, 2)
+	c.H(3)
+	for q := 0; q < 4; q++ {
+		c.Measure(q)
+	}
+
+	// Closed form with decoherence effectively disabled so both models
+	// charge exactly the per-gate and readout error terms.
+	model := Params{
+		T1: 1e12, T2: 1e12,
+		Times:         Johannesburg0819().Times,
+		OneQubitError: 0.002,
+		TwoQubitError: 0.01,
+		ReadoutError:  0.01,
+	}
+	analytic, err := SuccessProbability(c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Pauli model charges each operand of a two-qubit gate
+	// independently, so its per-gate rate is 1-(1-e)^2; convert to match
+	// the closed form's per-gate accounting.
+	pn := sim.PauliNoise{
+		OneQubitError: model.OneQubitError,
+		TwoQubitError: 1 - math.Sqrt(1-model.TwoQubitError),
+		ReadoutError:  model.ReadoutError,
+	}
+	// Expected output: |0011>: X on 0 propagates through CX(0,1); the
+	// CX(1,2) pair cancels, as does the H pair on qubit 3.
+	const shots = 8000
+	eng := &sim.Engine{Workers: 4}
+	mc, err := eng.MonteCarlo(c, pn, 0b0011, ^uint64(0), shots, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 3*math.Sqrt(analytic*(1-analytic)/shots) + 0.005
+	if mc < analytic-tol {
+		t.Errorf("trajectories %v below closed form %v (tol %v)", mc, analytic, tol)
+	}
+	if mc > analytic+0.05 {
+		t.Errorf("trajectories %v far above closed form %v: model drift", mc, analytic)
+	}
+
+	// Determinism across worker counts holds for the exact same call.
+	again, err := (&sim.Engine{Workers: 1}).MonteCarlo(c, pn, 0b0011, ^uint64(0), shots, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != mc {
+		t.Errorf("engine trajectories not deterministic across workers: %v vs %v", mc, again)
+	}
+}

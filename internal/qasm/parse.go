@@ -122,6 +122,17 @@ func parseStmt(stmt string, c **circuit.Circuit, regName *string) error {
 	if a := name.Arity(); a >= 0 && len(qubits) != a {
 		return fmt.Errorf("gate %v expects %d qubits, got %d", name, a, len(qubits))
 	}
+	if name == circuit.MCX && len(qubits) < 2 {
+		return fmt.Errorf("mcx expects at least 2 qubits, got %d", len(qubits))
+	}
+	// NewGate panics on malformed gates; user input must error instead.
+	seen := make(map[int]bool, len(qubits))
+	for _, q := range qubits {
+		if seen[q] {
+			return fmt.Errorf("gate %v repeats qubit %d", name, q)
+		}
+		seen[q] = true
+	}
 	if p := name.ParamCount(); len(params) != p {
 		return fmt.Errorf("gate %v expects %d params, got %d", name, p, len(params))
 	}

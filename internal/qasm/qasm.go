@@ -11,8 +11,10 @@ import (
 )
 
 // Emit renders a circuit as OpenQASM 2.0 source. Gates map to the standard
-// qelib1 mnemonics; MCX is not representable and returns an error (decompose
-// it first).
+// qelib1 mnemonics. MCX has no qelib1 form and is emitted with the Trios
+// dialect mnemonic `mcx controls..., target` (qiskit-compatible naming),
+// which Parse round-trips; decompose it first for strict interoperability
+// with other toolchains.
 func Emit(c *circuit.Circuit) (string, error) {
 	var b strings.Builder
 	b.WriteString("OPENQASM 2.0;\n")
@@ -35,8 +37,6 @@ func Emit(c *circuit.Circuit) (string, error) {
 
 func emitGate(g circuit.Gate) (string, error) {
 	switch g.Name {
-	case circuit.MCX:
-		return "", fmt.Errorf("mcx has no OpenQASM 2.0 form; decompose first")
 	case circuit.Measure:
 		q := g.Qubits[0]
 		return fmt.Sprintf("measure q[%d] -> c[%d];", q, q), nil

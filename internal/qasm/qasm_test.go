@@ -52,11 +52,22 @@ func TestEmitParams(t *testing.T) {
 	}
 }
 
-func TestEmitRejectsMCX(t *testing.T) {
+func TestEmitMCXDialect(t *testing.T) {
 	c := circuit.New(4)
 	c.MCX([]int{0, 1, 2}, 3)
-	if _, err := Emit(c); err == nil {
-		t.Error("expected error for mcx")
+	src, err := Emit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "mcx q[0], q[1], q[2], q[3];") {
+		t.Errorf("mcx not emitted in dialect form:\n%s", src)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(c) {
+		t.Errorf("mcx did not round-trip:\n%v", back)
 	}
 }
 

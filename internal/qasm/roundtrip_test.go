@@ -1,0 +1,130 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trios/internal/circuit"
+)
+
+// randomGate draws one gate of the given kind on random distinct qubits
+// with random parameters (a mix of exact binary floats, pi expressions'
+// results, and arbitrary values — all must survive the %.17g round-trip).
+func randomGate(rng *rand.Rand, name circuit.Name, n int) circuit.Gate {
+	arity := name.Arity()
+	if name == circuit.MCX {
+		arity = 2 + rng.Intn(n-2)
+	}
+	qubits := rng.Perm(n)[:arity]
+	params := make([]float64, name.ParamCount())
+	for i := range params {
+		switch rng.Intn(3) {
+		case 0:
+			params[i] = rng.Float64()*4*math.Pi - 2*math.Pi
+		case 1:
+			params[i] = math.Pi / float64(1+rng.Intn(8))
+		default:
+			params[i] = float64(rng.Intn(16)) / 8 // exact binary fraction
+		}
+	}
+	return circuit.NewGate(name, qubits, params...)
+}
+
+// emittableGates is the full gate set Emit supports: everything in the IR,
+// including the RCCX/RCCXdg Margolus pair and the variable-arity MCX
+// dialect extension.
+var emittableGates = []circuit.Name{
+	circuit.I, circuit.X, circuit.Y, circuit.Z, circuit.H,
+	circuit.S, circuit.Sdg, circuit.T, circuit.Tdg,
+	circuit.SX, circuit.SXdg,
+	circuit.RX, circuit.RY, circuit.RZ,
+	circuit.U1, circuit.U2, circuit.U3,
+	circuit.CX, circuit.CZ, circuit.CP, circuit.SWAP,
+	circuit.CCX, circuit.CCZ, circuit.RCCX, circuit.RCCXdg,
+	circuit.MCX,
+}
+
+// TestRoundTripPropertyFullGateSet: parse(emit(c)) must preserve gate
+// kinds, parameters (bit-exact), qubit order, and the register size for
+// random circuits over the full supported gate set.
+func TestRoundTripPropertyFullGateSet(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		c := circuit.New(n)
+		gates := 1 + rng.Intn(40)
+		for i := 0; i < gates; i++ {
+			name := emittableGates[rng.Intn(len(emittableGates))]
+			c.Append(randomGate(rng, name, n))
+		}
+		// Sprinkle barriers and terminal measures.
+		if rng.Intn(2) == 0 {
+			c.Barrier()
+		}
+		measured := rng.Perm(n)[:rng.Intn(n)]
+		for _, q := range measured {
+			c.Measure(q)
+		}
+
+		src, err := Emit(c)
+		if err != nil {
+			t.Fatalf("seed %d: emit: %v", seed, err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if back.NumQubits != c.NumQubits {
+			t.Fatalf("seed %d: qubits %d -> %d", seed, c.NumQubits, back.NumQubits)
+		}
+		if len(back.Gates) != len(c.Gates) {
+			t.Fatalf("seed %d: gate count %d -> %d\n%s", seed, len(c.Gates), len(back.Gates), src)
+		}
+		for i := range c.Gates {
+			if !c.Gates[i].Equal(back.Gates[i]) {
+				t.Fatalf("seed %d gate %d: %v -> %v", seed, i, c.Gates[i], back.Gates[i])
+			}
+		}
+	}
+}
+
+// TestParseRejectsMalformedGates: user input must produce parse errors, not
+// panics, now that mcx is part of the emitted dialect.
+func TestParseRejectsMalformedGates(t *testing.T) {
+	header := "OPENQASM 2.0;\nqreg q[4];\n"
+	for _, bad := range []string{
+		"mcx q[0];",           // too few qubits
+		"mcx q[0], q[0];",     // duplicate qubit
+		"cx q[1], q[1];",      // duplicate qubit on fixed arity
+		"swap q[2], q[2];",    // duplicate qubit
+		"ccx q[0],q[1],q[0];", // duplicate in three-qubit gate
+	} {
+		if _, err := Parse(header + bad + "\n"); err == nil {
+			t.Errorf("%q parsed without error", bad)
+		}
+	}
+}
+
+// TestRoundTripEveryGateOnce pins each gate kind individually so a failure
+// names the culprit directly.
+func TestRoundTripEveryGateOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, name := range emittableGates {
+		c := circuit.New(5)
+		c.Append(randomGate(rng, name, 5))
+		src, err := Emit(c)
+		if err != nil {
+			t.Errorf("%v: emit: %v", name, err)
+			continue
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Errorf("%v: parse: %v\n%s", name, err, src)
+			continue
+		}
+		if !back.Equal(c) {
+			t.Errorf("%v: round-trip mismatch:\n%v\nvs\n%v", name, c, back)
+		}
+	}
+}

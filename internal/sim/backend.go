@@ -1,0 +1,170 @@
+// Backend abstraction: one interface over the dense statevector and the
+// stabilizer tableau, so the engine's dispatch, the trajectory sampler, and
+// future backends (distributed, tensor-network) share a seam.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trios/internal/circuit"
+	"trios/internal/stab"
+)
+
+// Backend is a simulation strategy the engine can dispatch a circuit to.
+type Backend interface {
+	// Name identifies the backend in engine stats and verification reports.
+	Name() string
+	// Supports reports whether the backend can simulate every gate of the
+	// circuit exactly at its qubit count (pseudo-ops are ignored).
+	Supports(c *circuit.Circuit) bool
+	// Prepare returns a fresh |0...0> register on n qubits.
+	Prepare(n int) (BackendState, error)
+}
+
+// BackendState is one simulation register behind a backend.
+type BackendState interface {
+	NumQubits() int
+	// Reset restores |0...0> in place, reusing storage.
+	Reset()
+	// Apply applies one gate (Barrier is a no-op; Measure is an error —
+	// measurement happens through MeasureAll).
+	Apply(g circuit.Gate) error
+	// MeasureAll samples a computational-basis outcome for all qubits.
+	MeasureAll(rng *rand.Rand) uint64
+	// Fidelity compares two states of the same backend: the dense backend
+	// returns |<a|b>|; the stabilizer backend returns 1 if the states are
+	// identical (same stabilizer group with signs) and 0 otherwise, which
+	// is all equivalence checking needs. Cross-backend comparison errors.
+	Fidelity(o BackendState) (float64, error)
+}
+
+// DenseBackend simulates with the fused-kernel statevector; exact for every
+// gate in the IR, exponential in qubits (capped at MaxQubits).
+type DenseBackend struct{}
+
+// Name implements Backend.
+func (DenseBackend) Name() string { return "dense" }
+
+// Supports implements Backend: any circuit up to MaxQubits.
+func (DenseBackend) Supports(c *circuit.Circuit) bool { return c.NumQubits <= MaxQubits }
+
+// Prepare implements Backend.
+func (DenseBackend) Prepare(n int) (BackendState, error) {
+	if n < 0 || n > MaxQubits {
+		return nil, fmt.Errorf("sim: dense backend qubit count %d outside [0,%d]", n, MaxQubits)
+	}
+	return (*denseState)(NewState(n)), nil
+}
+
+type denseState State
+
+func (s *denseState) state() *State  { return (*State)(s) }
+func (s *denseState) NumQubits() int { return s.state().NumQubits() }
+func (s *denseState) Reset()         { s.state().Reset() }
+func (s *denseState) Apply(g circuit.Gate) error {
+	if g.Name == circuit.Measure {
+		return fmt.Errorf("sim: apply Measure through MeasureAll, not Apply")
+	}
+	return s.state().ApplyGate(g)
+}
+func (s *denseState) MeasureAll(rng *rand.Rand) uint64 { return s.state().MeasureAll(rng) }
+
+func (s *denseState) Fidelity(o BackendState) (float64, error) {
+	d, ok := o.(*denseState)
+	if !ok {
+		return 0, fmt.Errorf("sim: cannot compare dense state with %T", o)
+	}
+	return s.state().Fidelity(d.state()), nil
+}
+
+// StabilizerBackend simulates Clifford circuits on the Aaronson-Gottesman
+// tableau: polynomial in qubits, exact, but restricted to the Clifford
+// gate set (see circuit.IsClifford).
+type StabilizerBackend struct{}
+
+// MaxStabilizerQubits bounds the stabilizer backend's register size: the
+// MeasureAll outcome is a uint64 bitstring. This is the single source of
+// truth for every stabilizer-eligibility check in the engine.
+const MaxStabilizerQubits = 64
+
+// Name implements Backend.
+func (StabilizerBackend) Name() string { return "stabilizer" }
+
+// Supports implements Backend: Clifford circuits on 1..MaxStabilizerQubits
+// qubits. The engine's Verify/VerifyCompiled/MonteCarlo dispatch all route
+// through this predicate.
+func (StabilizerBackend) Supports(c *circuit.Circuit) bool {
+	return c.NumQubits >= 1 && c.NumQubits <= MaxStabilizerQubits && circuit.IsClifford(c)
+}
+
+// Prepare implements Backend.
+func (StabilizerBackend) Prepare(n int) (BackendState, error) {
+	if n <= 0 || n > MaxStabilizerQubits {
+		return nil, fmt.Errorf("sim: stabilizer backend qubit count %d outside [1,%d]", n, MaxStabilizerQubits)
+	}
+	return &stabState{s: stab.NewState(n)}, nil
+}
+
+type stabState struct{ s *stab.State }
+
+func (t *stabState) NumQubits() int { return t.s.NumQubits() }
+func (t *stabState) Reset()         { t.s.Reset() }
+func (t *stabState) Apply(g circuit.Gate) error {
+	if g.Name == circuit.Measure {
+		return fmt.Errorf("sim: apply Measure through MeasureAll, not Apply")
+	}
+	return t.s.ApplyGate(g)
+}
+func (t *stabState) MeasureAll(rng *rand.Rand) uint64 { return t.s.MeasureAll(rng) }
+
+func (t *stabState) Fidelity(o BackendState) (float64, error) {
+	u, ok := o.(*stabState)
+	if !ok {
+		return 0, fmt.Errorf("sim: cannot compare stabilizer state with %T", o)
+	}
+	if t.s.Equal(u.s) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// randomStabilizerPrep returns a circuit preparing a random stabilizer
+// state on n qubits: each qubit is put in one of the six single-qubit
+// stabilizer states, then a layer of n random CNOTs entangles them. Used
+// by the stabilizer verification path the way random dense states are used
+// by the statevector path: equivalent circuits map every prep to the same
+// output; distinct Clifford unitaries diverge on some prep with high
+// probability per trial.
+func randomStabilizerPrep(n int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		switch rng.Intn(6) {
+		case 0: // |0>
+		case 1: // |1>
+			c.X(q)
+		case 2: // |+>
+			c.H(q)
+		case 3: // |->
+			c.X(q)
+			c.H(q)
+		case 4: // |+i>
+			c.H(q)
+			c.S(q)
+		case 5: // |-i>
+			c.H(q)
+			c.Sdg(q)
+		}
+	}
+	if n >= 2 {
+		for i := 0; i < n; i++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}

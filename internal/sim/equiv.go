@@ -15,25 +15,15 @@ const EquivalenceTolerance = 1e-9
 // `trials` random states. This probabilistic check is exact with probability
 // 1 for Haar-random inputs; a handful of trials leaves no realistic escape
 // for a buggy decomposition.
+//
+// The check runs on the engine's fused dense kernels: each circuit compiles
+// to a fused program once and is re-run across trials. Use Engine.Verify to
+// additionally dispatch Clifford pairs to the stabilizer backend.
 func Equivalent(a, b *circuit.Circuit, trials int, seed int64) (bool, error) {
 	if a.NumQubits != b.NumQubits {
 		return false, fmt.Errorf("sim: qubit count mismatch %d vs %d", a.NumQubits, b.NumQubits)
 	}
-	for t := 0; t < trials; t++ {
-		in := NewRandomState(a.NumQubits, seed+int64(t))
-		sa := in.Copy()
-		if err := sa.ApplyCircuit(a); err != nil {
-			return false, fmt.Errorf("sim: circuit a: %w", err)
-		}
-		sb := in
-		if err := sb.ApplyCircuit(b); err != nil {
-			return false, fmt.Errorf("sim: circuit b: %w", err)
-		}
-		if sa.Fidelity(sb) < 1-EquivalenceTolerance {
-			return false, nil
-		}
-	}
-	return true, nil
+	return (&Engine{}).denseEquivalent(a, b, trials, seed)
 }
 
 // CompiledEquivalent verifies a compiled physical circuit against its logical
@@ -53,27 +43,11 @@ func CompiledEquivalent(logical, physical *circuit.Circuit, nPhysical int, initi
 	if physical.NumQubits > nPhysical {
 		return false, fmt.Errorf("sim: physical circuit uses %d qubits, device has %d", physical.NumQubits, nPhysical)
 	}
-	for t := 0; t < trials; t++ {
-		// Reference: logical state evolved by the logical circuit, then
-		// embedded at the *final* physical positions.
-		in := NewRandomState(nLogical, seed+int64(t))
-		ref := in.Copy()
-		if err := ref.ApplyCircuit(logical); err != nil {
-			return false, fmt.Errorf("sim: logical circuit: %w", err)
-		}
-		want := embed(ref, nPhysical, final)
-
-		// Compiled: embed the input at the *initial* positions and run the
-		// physical circuit.
-		got := embed(in, nPhysical, initial)
-		if err := got.ApplyCircuit(physical); err != nil {
-			return false, fmt.Errorf("sim: physical circuit: %w", err)
-		}
-		if got.Fidelity(want) < 1-EquivalenceTolerance {
-			return false, nil
-		}
-	}
-	return true, nil
+	// The reference logical state is evolved by the logical circuit and
+	// embedded at the *final* physical positions; the compiled side embeds
+	// the input at the *initial* positions and runs the physical circuit.
+	// Both circuits run as fused programs on the engine's dense kernels.
+	return (&Engine{}).denseCompiled(logical, physical, nPhysical, initial, final, trials, seed)
 }
 
 // embed places logical qubit i of s at physical position place[i] of a

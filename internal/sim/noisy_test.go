@@ -104,3 +104,41 @@ func TestMonteCarloSizeLimit(t *testing.T) {
 		t.Error("expected size-limit error")
 	}
 }
+
+// TestMonteCarloComparesMeasuredSubset: when the circuit contains Measure
+// gates, only the measured qubits are compared, as the function has always
+// documented. Qubit 1 is in superposition but unmeasured, so success must
+// be exactly 1 even though the expect mask nominally covers it.
+func TestMonteCarloComparesMeasuredSubset(t *testing.T) {
+	c := circuit.New(2)
+	c.X(0)
+	c.H(1)
+	c.Measure(0)
+	p, err := MonteCarloSuccess(c, PauliNoise{}, 1, ^uint64(0), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("measured-subset success = %v, want 1 (unmeasured qubit compared?)", p)
+	}
+}
+
+// TestMonteCarloRejectsMidCircuitMeasure: a gate on an already-measured
+// qubit is an explicit error, not a silent skip.
+func TestMonteCarloRejectsMidCircuitMeasure(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.Measure(0)
+	c.X(0) // acts after the measurement
+	if _, err := MonteCarloSuccess(c, PauliNoise{}, 0, 1, 10, 8); err == nil {
+		t.Error("expected mid-circuit measurement error")
+	}
+	// A gate on a different qubit after someone else's Measure is fine.
+	ok := circuit.New(2)
+	ok.Measure(0)
+	ok.X(1)
+	ok.Measure(1)
+	if _, err := MonteCarloSuccess(ok, PauliNoise{}, 2, 3, 10, 8); err != nil {
+		t.Errorf("terminal measures on separate qubits should be accepted: %v", err)
+	}
+}

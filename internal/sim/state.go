@@ -84,6 +84,14 @@ func (s *State) NumQubits() int { return s.n }
 // Amplitude returns the amplitude of basis state index.
 func (s *State) Amplitude(index uint64) complex128 { return s.amp[index] }
 
+// Reset returns the state to |0...0> in place, reusing the amplitude
+// buffer. Trajectory workers reuse one state across thousands of shots, so
+// the per-shot cost is a memclr instead of an allocation.
+func (s *State) Reset() {
+	clear(s.amp)
+	s.amp[0] = 1
+}
+
 // Copy returns a deep copy of the state.
 func (s *State) Copy() *State {
 	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
@@ -115,63 +123,54 @@ func (s *State) Fidelity(o *State) float64 {
 	return cmplx.Abs(s.InnerProduct(o))
 }
 
-// apply1q applies a 2x2 matrix to qubit q.
+// apply1q applies a 2x2 matrix to qubit q via the branch-free pair kernel:
+// 2^(n-1) compact iterations instead of a 2^n scan with skip branches. The
+// per-pair arithmetic and visit order match the legacy loop exactly, so the
+// resulting state is bit-identical (legacy_test.go enforces this).
 func (s *State) apply1q(m gatemat.Mat2, q int) {
-	bit := uint64(1) << uint(q)
-	for i := uint64(0); i < uint64(len(s.amp)); i++ {
-		if i&bit != 0 {
-			continue
-		}
-		j := i | bit
-		a0, a1 := s.amp[i], s.amp[j]
-		s.amp[i] = m[0]*a0 + m[1]*a1
-		s.amp[j] = m[2]*a0 + m[3]*a1
-	}
+	mat2Range(s.amp, m, q, 0, uint64(len(s.amp))>>1)
 }
 
 // applyControlled1q applies a 2x2 matrix to tgt on the subspace where all
-// control qubits are |1>.
+// control qubits are |1>: 2^(n-1-controls) compact iterations. Bit sorting
+// and mask setup use stack buffers so the per-gate trajectory hot path
+// stays allocation-free, matching the legacy loops.
 func (s *State) applyControlled1q(m gatemat.Mat2, controls []int, tgt int) {
-	var cmask uint64
+	var bitsBuf [MaxQubits + 1]int
+	var masksBuf [MaxQubits + 1]uint64
+	bits := insertSorted(bitsBuf[:0], tgt)
 	for _, c := range controls {
-		cmask |= 1 << uint(c)
+		bits = insertSorted(bits, c)
 	}
-	bit := uint64(1) << uint(tgt)
-	for i := uint64(0); i < uint64(len(s.amp)); i++ {
-		if i&bit != 0 || i&cmask != cmask {
-			continue
-		}
-		j := i | bit
-		a0, a1 := s.amp[i], s.amp[j]
-		s.amp[i] = m[0]*a0 + m[1]*a1
-		s.amp[j] = m[2]*a0 + m[3]*a1
-	}
+	masks := fillInsertMasks(masksBuf[:len(bits)], bits)
+	ctrlMat2Range(s.amp, m, masks, bitMask(controls), 1<<uint(tgt),
+		0, uint64(len(s.amp))>>uint(len(bits)))
 }
 
 // applyPhase multiplies amplitudes of basis states where all the given
-// qubits are |1> by phase.
+// qubits are |1> by phase: 2^(n-qubits) compact iterations.
 func (s *State) applyPhase(phase complex128, qubits []int) {
-	var mask uint64
+	var bitsBuf [MaxQubits + 1]int
+	var masksBuf [MaxQubits + 1]uint64
+	bits := bitsBuf[:0]
 	for _, q := range qubits {
-		mask |= 1 << uint(q)
+		bits = insertSorted(bits, q)
 	}
-	for i := uint64(0); i < uint64(len(s.amp)); i++ {
-		if i&mask == mask {
-			s.amp[i] *= phase
-		}
-	}
+	masks := fillInsertMasks(masksBuf[:len(bits)], bits)
+	phaseRange(s.amp, phase, masks, bitMask(qubits),
+		0, uint64(len(s.amp))>>uint(len(bits)))
 }
 
-// applySwap exchanges qubits a and b.
+// applySwap exchanges qubits a and b: 2^(n-2) compact iterations over the
+// pairs with the a-bit set and the b-bit clear.
 func (s *State) applySwap(a, b int) {
-	ba, bb := uint64(1)<<uint(a), uint64(1)<<uint(b)
-	for i := uint64(0); i < uint64(len(s.amp)); i++ {
-		// Visit each index pair once: a-bit set, b-bit clear.
-		if i&ba != 0 && i&bb == 0 {
-			j := (i &^ ba) | bb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-		}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
 	}
+	masks := [2]uint64{uint64(1)<<uint(lo) - 1, uint64(1)<<uint(hi) - 1}
+	swapRange(s.amp, masks[:], 1<<uint(a), 1<<uint(b),
+		0, uint64(len(s.amp))>>2)
 }
 
 var xMat = gatemat.Mat2{0, 1, 1, 0}

@@ -52,6 +52,19 @@ func NewState(n int) *State {
 // NumQubits returns the number of qubits.
 func (s *State) NumQubits() int { return s.n }
 
+// Reset returns the state to |0...0> in place, reusing the tableau storage.
+// Trajectory workers reuse one state across thousands of shots.
+func (s *State) Reset() {
+	for i := 0; i < s.n; i++ {
+		for w := range s.x[i] {
+			s.x[i][w] = 0
+			s.z[i][w] = 0
+		}
+		s.z[i][i/64] |= 1 << uint(i%64)
+		s.r[i] = 0
+	}
+}
+
 func (s *State) getX(i, q int) bool { return s.x[i][q/64]&(1<<uint(q%64)) != 0 }
 func (s *State) getZ(i, q int) bool { return s.z[i][q/64]&(1<<uint(q%64)) != 0 }
 func (s *State) flipX(i, q int)     { s.x[i][q/64] ^= 1 << uint(q%64) }
@@ -140,7 +153,10 @@ func (s *State) Swap(a, b int) {
 }
 
 // ApplyGate applies one Clifford gate from the circuit IR, recognizing
-// Clifford u-gates by their parameters. Non-Clifford gates return an error.
+// Clifford rotation gates by their parameters (multiples of pi/2; CP needs a
+// multiple of pi). Non-Clifford gates return an error. The accepted set
+// agrees gate-for-gate with circuit.IsCliffordGate, which the test suite
+// cross-checks.
 func (s *State) ApplyGate(g circuit.Gate) error {
 	for _, q := range g.Qubits {
 		if q < 0 || q >= s.n {
@@ -155,20 +171,59 @@ func (s *State) ApplyGate(g circuit.Gate) error {
 	case circuit.S:
 		s.S(g.Qubits[0])
 	case circuit.Sdg:
-		q := g.Qubits[0]
-		s.S(q)
-		s.S(q)
-		s.S(q)
+		s.sdg(g.Qubits[0])
 	case circuit.X:
 		s.X(g.Qubits[0])
 	case circuit.Y:
 		s.Y(g.Qubits[0])
 	case circuit.Z:
 		s.Z(g.Qubits[0])
+	case circuit.SX:
+		// sqrt(X) = H S H exactly (up to global phase).
+		q := g.Qubits[0]
+		s.H(q)
+		s.S(q)
+		s.H(q)
+	case circuit.SXdg:
+		q := g.Qubits[0]
+		s.H(q)
+		s.sdg(q)
+		s.H(q)
+	case circuit.RZ:
+		// rz(k*pi/2) ~ u1(k*pi/2) up to a global phase the tableau ignores.
+		return s.applyU1(g.Qubits[0], g.Params[0])
+	case circuit.RX:
+		// rx(theta) = H rz(theta) H up to global phase.
+		k := quarter(g.Params[0])
+		if k < 0 {
+			return fmt.Errorf("stab: rx(%g) is not Clifford", g.Params[0])
+		}
+		q := g.Qubits[0]
+		s.H(q)
+		for i := 0; i < k; i++ {
+			s.S(q)
+		}
+		s.H(q)
+	case circuit.RY:
+		k := quarter(g.Params[0])
+		if k < 0 {
+			return fmt.Errorf("stab: ry(%g) is not Clifford", g.Params[0])
+		}
+		s.applyRYQuarter(g.Qubits[0], k)
 	case circuit.CX:
 		s.CX(g.Qubits[0], g.Qubits[1])
 	case circuit.CZ:
 		s.CZ(g.Qubits[0], g.Qubits[1])
+	case circuit.CP:
+		// cp(0) = I and cp(pi) = CZ; odd quarter turns (controlled-S) are not
+		// Clifford.
+		k := quarter(g.Params[0])
+		if k < 0 || k%2 != 0 {
+			return fmt.Errorf("stab: cp(%g) is not Clifford", g.Params[0])
+		}
+		if k == 2 {
+			s.CZ(g.Qubits[0], g.Qubits[1])
+		}
 	case circuit.SWAP:
 		s.Swap(g.Qubits[0], g.Qubits[1])
 	case circuit.U1:
@@ -183,16 +238,35 @@ func (s *State) ApplyGate(g circuit.Gate) error {
 	return nil
 }
 
-const angleTol = 1e-9
+// sdg applies S-dagger as three S gates.
+func (s *State) sdg(q int) {
+	s.S(q)
+	s.S(q)
+	s.S(q)
+}
+
+// applyRYQuarter applies RY(k*pi/2) for k in {0,1,2,3} via
+// RY(pi/2) = X·H (apply H first, then X) and RY(pi) ~ Y.
+func (s *State) applyRYQuarter(q, k int) {
+	switch k {
+	case 0:
+	case 1:
+		s.H(q)
+		s.X(q)
+	case 2:
+		s.Y(q)
+	case 3:
+		s.H(q)
+		s.X(q)
+		s.Y(q)
+	}
+}
 
 // quarter classifies an angle as a multiple of pi/2 in {0,1,2,3}, or -1.
-func quarter(a float64) int {
-	k := math.Round(a / (math.Pi / 2))
-	if math.Abs(a-k*(math.Pi/2)) > angleTol {
-		return -1
-	}
-	return ((int(k) % 4) + 4) % 4
-}
+// It is the engine's classifier (circuit.QuarterTurns) by definition, not a
+// copy: dispatch correctness requires the classifier and this backend to
+// agree on every angle.
+func quarter(a float64) int { return circuit.QuarterTurns(a) }
 
 // applyU1 handles u1(k*pi/2): I, S, Z, Sdg.
 func (s *State) applyU1(q int, lambda float64) error {
@@ -224,18 +298,7 @@ func (s *State) applyU3(q int, theta, phi, lambda float64) error {
 	if err := s.applyU1(q, lambda); err != nil {
 		return fmt.Errorf("stab: u3(%g,%g,%g) is not Clifford", theta, phi, lambda)
 	}
-	switch k {
-	case 0:
-	case 1: // RY(pi/2): H then X.
-		s.H(q)
-		s.X(q)
-	case 2: // RY(pi) ~ Y.
-		s.Y(q)
-	case 3: // RY(3pi/2) = RY(pi) RY(pi/2): H, X, then Y.
-		s.H(q)
-		s.X(q)
-		s.Y(q)
-	}
+	s.applyRYQuarter(q, k)
 	if err := s.applyU1(q, phi); err != nil {
 		return fmt.Errorf("stab: u3(%g,%g,%g) is not Clifford", theta, phi, lambda)
 	}
@@ -431,6 +494,19 @@ func (s *State) swapRows(a, b int) {
 	s.x[a], s.x[b] = s.x[b], s.x[a]
 	s.z[a], s.z[b] = s.z[b], s.z[a]
 	s.r[a], s.r[b] = s.r[b], s.r[a]
+}
+
+// Generator returns the i-th stabilizer generator as X/Z bit slices over
+// qubits plus the sign bit (0 for +, 1 for -). Used by cross-validation
+// tests and debugging tools; the returned slices are copies.
+func (s *State) Generator(i int) (xs, zs []bool, sign uint8) {
+	xs = make([]bool, s.n)
+	zs = make([]bool, s.n)
+	for q := 0; q < s.n; q++ {
+		xs[q] = s.getX(i, q)
+		zs[q] = s.getZ(i, q)
+	}
+	return xs, zs, s.r[i]
 }
 
 // Stabilizers renders the generators as Pauli strings for debugging, e.g.

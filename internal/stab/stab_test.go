@@ -7,7 +7,6 @@ import (
 
 	"trios/internal/circuit"
 	"trios/internal/decompose"
-	"trios/internal/sim"
 )
 
 func TestInitialState(t *testing.T) {
@@ -75,102 +74,6 @@ func TestSwapGate(t *testing.T) {
 	for _, g := range got {
 		if !want[g] {
 			t.Fatalf("swap stabilizers = %v", got)
-		}
-	}
-}
-
-// pauliExpectation computes <psi|P|psi> for a Pauli string on a statevector.
-func pauliExpectation(t *testing.T, psi *sim.State, xs, zs []bool, sign uint8) float64 {
-	t.Helper()
-	phi := psi.Copy()
-	// Apply Z then X per qubit (order matters only up to global phase
-	// consistent with the tableau's convention: generator = i^0 * prod
-	// X^x Z^z per qubit... use Y where both).
-	for q := range xs {
-		switch {
-		case xs[q] && zs[q]:
-			if err := phi.ApplyGate(circuit.NewGate(circuit.Y, []int{q})); err != nil {
-				t.Fatal(err)
-			}
-		case xs[q]:
-			if err := phi.ApplyGate(circuit.NewGate(circuit.X, []int{q})); err != nil {
-				t.Fatal(err)
-			}
-		case zs[q]:
-			if err := phi.ApplyGate(circuit.NewGate(circuit.Z, []int{q})); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	ip := real(psi.InnerProduct(phi))
-	if sign == 1 {
-		ip = -ip
-	}
-	return ip
-}
-
-// TestAgainstStatevector cross-validates the tableau against the exact
-// statevector: after a random Clifford circuit, every stabilizer generator
-// must have expectation +1 on the statevector.
-func TestAgainstStatevector(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	for trial := 0; trial < 25; trial++ {
-		n := 4
-		c := randomClifford(rng, n, 30)
-		st := NewState(n)
-		if err := st.ApplyCircuit(c); err != nil {
-			t.Fatal(err)
-		}
-		psi := sim.NewState(n)
-		if err := psi.ApplyCircuit(c); err != nil {
-			t.Fatal(err)
-		}
-		for i := 0; i < n; i++ {
-			xs := make([]bool, n)
-			zs := make([]bool, n)
-			for q := 0; q < n; q++ {
-				xs[q] = st.getX(i, q)
-				zs[q] = st.getZ(i, q)
-			}
-			exp := pauliExpectation(t, psi, xs, zs, st.r[i])
-			if math.Abs(exp-1) > 1e-9 {
-				t.Fatalf("trial %d generator %d: expectation %v (stabilizers %v)\ncircuit:\n%v",
-					trial, i, exp, st.Stabilizers(), c)
-			}
-		}
-	}
-}
-
-// TestCliffordUGates verifies the u-gate recognition against statevector.
-func TestCliffordUGates(t *testing.T) {
-	pi := math.Pi
-	cases := []*circuit.Circuit{
-		circuit.New(1).U1(pi/2, 0),
-		circuit.New(1).U1(-pi/2, 0),
-		circuit.New(1).U1(pi, 0),
-		circuit.New(1).U2(0, pi, 0), // H
-		circuit.New(1).U2(pi/2, pi/2, 0),
-		circuit.New(1).U3(pi, 0, pi, 0), // X
-		circuit.New(1).U3(pi/2, -pi/2, pi/2, 0),
-		circuit.New(1).U3(pi, pi/2, pi/2, 0), // Y
-	}
-	for ci, c := range cases {
-		full := circuit.New(2)
-		full.H(0).CX(0, 1) // entangle so phases matter
-		full.AppendCircuit(c)
-		st := NewState(2)
-		if err := st.ApplyCircuit(full); err != nil {
-			t.Fatalf("case %d: %v", ci, err)
-		}
-		psi := sim.NewState(2)
-		if err := psi.ApplyCircuit(full); err != nil {
-			t.Fatal(err)
-		}
-		for i := 0; i < 2; i++ {
-			xs, zs := []bool{st.getX(i, 0), st.getX(i, 1)}, []bool{st.getZ(i, 0), st.getZ(i, 1)}
-			if exp := pauliExpectation(t, psi, xs, zs, st.r[i]); math.Abs(exp-1) > 1e-9 {
-				t.Fatalf("case %d generator %d: expectation %v", ci, i, exp)
-			}
 		}
 	}
 }
