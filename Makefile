@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-route bench-sim lint vet fmt fmt-check bench-json
+.PHONY: all build test race bench bench-route bench-sim bench-service serve loadgen lint vet fmt fmt-check bench-json
 
 all: build test
 
@@ -11,10 +11,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent compilation engine, the routers it drives, the
-# lazily-built per-device distance oracle they all share, and the simulation
-# engine's parallel sweeps and trajectory workers.
+# lazily-built per-device distance oracle they all share, the simulation
+# engine's parallel sweeps and trajectory workers, and the serving layer's
+# cache/singleflight/admission machinery.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -39,6 +40,21 @@ bench-json:
 bench-sim:
 	$(GO) run ./cmd/experiments -sim-bench BENCH_sim.json > BENCH_sim.txt
 	cat BENCH_sim.txt
+
+# Run the compile daemon locally (ctrl-c drains gracefully).
+serve:
+	$(GO) run ./cmd/triosd
+
+# Drive a running daemon with the standard benchmark mix.
+loadgen:
+	$(GO) run ./cmd/loadgen
+
+# Serving benchmark: build triosd + loadgen, serve on a local port, replay
+# the standard mix closed-loop, and write BENCH_service.json (throughput,
+# latency quantiles, cache hit rate). TRIOSD_RACE=-race instruments the
+# daemon for the CI smoke.
+bench-service:
+	sh scripts/bench_service.sh
 
 vet:
 	$(GO) vet ./...

@@ -24,22 +24,28 @@ import (
 	"trios/internal/experiments"
 	"trios/internal/noise"
 	"trios/internal/topo"
+	"trios/internal/version"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, all, or the opt-in trajectory suites mc-toffoli, mc-rp (not included in all)")
-		triplets  = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
-		shots     = flag.Int("shots", 8192, "shots per Toffoli configuration")
-		seed      = flag.Int64("seed", 2021, "random seed")
-		jsonPath  = flag.String("json", "", "also write all results as JSON to this file")
-		workers   = flag.Int("workers", 0, "parallel compilation workers (0 = GOMAXPROCS)")
-		benchJSON = flag.String("bench-json", "", "run only the compile-path benchmark and write its JSON report here (e.g. BENCH_compile.json)")
-		simJSON   = flag.String("sim-bench", "", "run only the simulation-engine benchmark and write its JSON report here (e.g. BENCH_sim.json); a text summary goes to stdout")
-		mcShots   = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
-		mcTrips   = flag.Int("mc-triplets", 4, "random triplets for the mc-toffoli experiment")
+		exp         = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, all, or the opt-in trajectory suites mc-toffoli, mc-rp (not included in all)")
+		triplets    = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
+		shots       = flag.Int("shots", 8192, "shots per Toffoli configuration")
+		seed        = flag.Int64("seed", 2021, "random seed")
+		jsonPath    = flag.String("json", "", "also write all results as JSON to this file")
+		workers     = flag.Int("workers", 0, "parallel compilation workers (0 = GOMAXPROCS)")
+		benchJSON   = flag.String("bench-json", "", "run only the compile-path benchmark and write its JSON report here (e.g. BENCH_compile.json)")
+		simJSON     = flag.String("sim-bench", "", "run only the simulation-engine benchmark and write its JSON report here (e.g. BENCH_sim.json); a text summary goes to stdout")
+		mcShots     = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
+		mcTrips     = flag.Int("mc-triplets", 4, "random triplets for the mc-toffoli experiment")
+		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	experiments.Workers = *workers
 
 	if *simJSON != "" {

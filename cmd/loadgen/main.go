@@ -1,0 +1,294 @@
+// Command loadgen is a closed-loop load generator for triosd: -concurrency
+// workers each keep exactly one request in flight, replaying a benchmark mix
+// round-robin against POST /v1/compile until -duration (or -requests)
+// elapses, then report throughput, latency quantiles, per-status counts, and
+// the cache hit rate observed via the X-Trios-Cache response header. The
+// machine-readable report lands in -out (BENCH_service.json).
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8421 -concurrency 8 -duration 10s -out BENCH_service.json
+//	loadgen -addr http://127.0.0.1:8421 -ping   # healthz probe, for scripts
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trios/internal/service"
+	"trios/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8421", "triosd base URL")
+		concurrency = flag.Int("concurrency", 8, "workers, each with one request in flight")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		requests    = flag.Int("requests", 0, "stop after this many requests (0 = duration only)")
+		mix         = flag.String("mix", "bv-20,qft_adder-16,qaoa_complete-10,cnx_dirty-11,grovers-9", "comma-separated benchmark names to replay")
+		pipelines   = flag.String("pipelines", "baseline,trios", "comma-separated pipelines crossed with the mix")
+		topology    = flag.String("topology", "johannesburg", "target device for every request")
+		seed        = flag.Int64("seed", 1, "compile seed (constant across the run, so repeats hit the cache)")
+		out         = flag.String("out", "BENCH_service.json", "write the JSON report here ('' = stdout only)")
+		ping        = flag.Bool("ping", false, "probe GET /healthz and exit 0 when the daemon is up")
+		showVersion = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
+	if *ping {
+		if err := pingHealthz(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*addr, *concurrency, *duration, *requests, *mix, *pipelines, *topology, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func pingHealthz(addr string) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	status  int
+	cache   string // X-Trios-Cache: hit | miss | coalesced (2xx only)
+}
+
+// Report is the BENCH_service.json schema.
+type Report struct {
+	Config struct {
+		Addr        string   `json:"addr"`
+		Concurrency int      `json:"concurrency"`
+		Mix         []string `json:"mix"`
+		Pipelines   []string `json:"pipelines"`
+		Topology    string   `json:"topology"`
+		Seed        int64    `json:"seed"`
+	} `json:"config"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Requests        int            `json:"requests"`
+	Errors          int            `json:"errors"`
+	StatusCounts    map[string]int `json:"status_counts"`
+	ThroughputRPS   float64        `json:"throughput_rps"`
+	LatencyMS       struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	Cache struct {
+		Hits      int     `json:"hits"`
+		Misses    int     `json:"misses"`
+		Coalesced int     `json:"coalesced"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+}
+
+func run(addr string, concurrency int, duration time.Duration, maxRequests int, mix, pipelines, topology string, seed int64, out string) error {
+	if concurrency < 1 {
+		return fmt.Errorf("concurrency must be >= 1")
+	}
+	benches := splitList(mix)
+	pipes := splitList(pipelines)
+	if len(benches) == 0 || len(pipes) == 0 {
+		return fmt.Errorf("empty -mix or -pipelines")
+	}
+	var bodies [][]byte
+	for _, b := range benches {
+		for _, p := range pipes {
+			req := service.CompileRequest{Benchmark: b, Topology: topology, Pipeline: p, Seed: &seed}
+			body, err := json.Marshal(req)
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, body)
+		}
+	}
+
+	url := strings.TrimSuffix(addr, "/") + "/v1/compile"
+	client := &http.Client{Timeout: 60 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	perWorker := make([][]sample, concurrency)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if maxRequests > 0 && i >= int64(maxRequests) {
+					return
+				}
+				body := bodies[i%int64(len(bodies))]
+				s, err := shoot(ctx, client, url, body)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					s = sample{status: 0}
+				}
+				perWorker[w] = append(perWorker[w], s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed; is triosd running at %s?", addr)
+	}
+	rep := summarize(all, elapsed)
+	rep.Config.Addr = addr
+	rep.Config.Concurrency = concurrency
+	rep.Config.Mix = benches
+	rep.Config.Pipelines = pipes
+	rep.Config.Topology = topology
+	rep.Config.Seed = seed
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("loadgen: %d requests in %.2fs  %.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  hit rate %.1f%%  errors %d\n",
+		rep.Requests, rep.DurationSeconds, rep.ThroughputRPS,
+		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99,
+		100*rep.Cache.HitRate, rep.Errors)
+	if out != "" {
+		fmt.Printf("loadgen: wrote %s\n", out)
+	}
+	if float64(rep.Errors) > 0.01*float64(rep.Requests) {
+		return fmt.Errorf("error rate %.1f%% exceeds 1%%", 100*float64(rep.Errors)/float64(rep.Requests))
+	}
+	return nil
+}
+
+func shoot(ctx context.Context, client *http.Client, url string, body []byte) (sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return sample{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{}, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		cache:   resp.Header.Get("X-Trios-Cache"),
+	}, nil
+}
+
+func summarize(all []sample, elapsed time.Duration) *Report {
+	rep := &Report{StatusCounts: make(map[string]int)}
+	latencies := make([]float64, 0, len(all))
+	var sum float64
+	for _, s := range all {
+		rep.Requests++
+		key := fmt.Sprintf("%d", s.status)
+		if s.status == 0 {
+			key = "transport_error"
+		}
+		rep.StatusCounts[key]++
+		if s.status < 200 || s.status >= 300 {
+			rep.Errors++
+			continue
+		}
+		ms := float64(s.latency) / float64(time.Millisecond)
+		latencies = append(latencies, ms)
+		sum += ms
+		switch s.cache {
+		case "hit":
+			rep.Cache.Hits++
+		case "coalesced":
+			rep.Cache.Coalesced++
+		default:
+			rep.Cache.Misses++
+		}
+	}
+	rep.DurationSeconds = elapsed.Seconds()
+	if rep.DurationSeconds > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / rep.DurationSeconds
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		rep.LatencyMS.P50 = quantile(latencies, 0.50)
+		rep.LatencyMS.P95 = quantile(latencies, 0.95)
+		rep.LatencyMS.P99 = quantile(latencies, 0.99)
+		rep.LatencyMS.Mean = sum / float64(len(latencies))
+		rep.LatencyMS.Max = latencies[len(latencies)-1]
+	}
+	if ok := rep.Cache.Hits + rep.Cache.Misses + rep.Cache.Coalesced; ok > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(ok)
+	}
+	return rep
+}
+
+// quantile returns the q-th quantile of sorted values (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

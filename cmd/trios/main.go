@@ -13,48 +13,71 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"trios/internal/benchmarks"
 	"trios/internal/circuit"
 	"trios/internal/compiler"
-	"trios/internal/decompose"
 	"trios/internal/experiments"
 	"trios/internal/noise"
 	"trios/internal/qasm"
 	"trios/internal/sim"
 	"trios/internal/topo"
+	"trios/internal/version"
 )
 
+// errFlagParse marks a flag error the FlagSet already reported to stderr
+// (message + usage); main must not print it a second time.
+var errFlagParse = errors.New("invalid arguments")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2) // usage error, already reported; 2 matches flag.ExitOnError
+		}
 		fmt.Fprintln(os.Stderr, "trios:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable CLI entry point: flags come from args, all output goes
+// to out, and failures return errors instead of exiting.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trios", flag.ContinueOnError)
 	var (
-		inPath     = flag.String("in", "", "input OpenQASM 2.0 file")
-		benchName  = flag.String("benchmark", "", "compile a named Table-1 benchmark instead of -in (see -list)")
-		list       = flag.Bool("list", false, "list available benchmarks and exit")
-		outPath    = flag.String("out", "", "write compiled OpenQASM here (default: stdout when not printing stats)")
-		topoName   = flag.String("topology", "johannesburg", "target device: johannesburg, grid, line, clusters, full")
-		pipeline   = flag.String("pipeline", "trios", "pipeline: trios, baseline, or both (both implies -stats)")
-		mode       = flag.String("toffoli", "auto", "toffoli decomposition: auto, 6, 8")
-		routerKind = flag.String("router", "direct", "routing strategy: direct or stochastic")
-		placement  = flag.String("placement", "greedy", "initial mapping: greedy, identity, random")
-		seed       = flag.Int64("seed", 1, "seed for stochastic routing and random placement")
-		stats      = flag.Bool("stats", false, "print compile statistics instead of QASM")
-		optimize   = flag.Bool("optimize", false, "run gate cancellation before and after compilation")
-		draw       = flag.Bool("draw", false, "print an ASCII diagram of the compiled circuit")
-		verify     = flag.Bool("verify", false, "verify the compiled circuit against the source (stabilizer sim for Clifford circuits, statevector for small devices, basis-state spot checks otherwise)")
-		model      = flag.String("model", "", "also estimate success probability: 'current' or '<N>x' improvement")
-		workers    = flag.Int("workers", 0, "parallel compilation workers when several pipelines run (0 = GOMAXPROCS)")
+		inPath      = fs.String("in", "", "input OpenQASM 2.0 file")
+		benchName   = fs.String("benchmark", "", "compile a named Table-1 benchmark instead of -in (see -list)")
+		list        = fs.Bool("list", false, "list available benchmarks and exit")
+		outPath     = fs.String("out", "", "write compiled OpenQASM here (default: stdout when not printing stats)")
+		topoName    = fs.String("topology", "johannesburg", "target device: johannesburg, grid, line, clusters, full")
+		pipeline    = fs.String("pipeline", "trios", "pipeline: trios, baseline, groups, both, or all (both/all imply -stats)")
+		mode        = fs.String("toffoli", "auto", "toffoli decomposition: auto, 6, 8")
+		routerKind  = fs.String("router", "direct", "routing strategy: direct, stochastic, or lookahead")
+		placement   = fs.String("placement", "greedy", "initial mapping: greedy, identity, random")
+		seed        = fs.Int64("seed", 1, "seed for stochastic routing and random placement")
+		stats       = fs.Bool("stats", false, "print compile statistics instead of QASM")
+		optimize    = fs.Bool("optimize", false, "run gate cancellation before and after compilation")
+		draw        = fs.Bool("draw", false, "print an ASCII diagram of the compiled circuit")
+		verify      = fs.Bool("verify", false, "verify the compiled circuit against the source (stabilizer sim for Clifford circuits, statevector for small devices, basis-state spot checks otherwise)")
+		model       = fs.String("model", "", "also estimate success probability: 'current' or '<N>x' improvement")
+		workers     = fs.Int("workers", 0, "parallel compilation workers when several pipelines run (0 = GOMAXPROCS)")
+		showVersion = fs.Bool("version", false, "print build version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help printed usage; that is success
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+
+	if *showVersion {
+		fmt.Fprintln(out, version.Get())
+		return nil
+	}
 
 	if *list {
 		for _, b := range benchmarks.All() {
@@ -62,7 +85,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-28s %2d qubits, %3d toffolis, %4d cnots\n", b.Name, m.Qubits, m.Toffolis, m.CNOTs)
+			fmt.Fprintf(out, "%-28s %2d qubits, %3d toffolis, %4d cnots\n", b.Name, m.Qubits, m.Toffolis, m.CNOTs)
 		}
 		return nil
 	}
@@ -76,45 +99,18 @@ func run() error {
 		return err
 	}
 	opts := compiler.Options{Seed: *seed, Optimize: *optimize}
-	switch *mode {
-	case "auto":
-		opts.Mode = decompose.Auto
-	case "6":
-		opts.Mode = decompose.Six
-	case "8":
-		opts.Mode = decompose.Eight
-	default:
-		return fmt.Errorf("unknown -toffoli %q", *mode)
+	if opts.Mode, err = compiler.ParseToffoli(*mode); err != nil {
+		return err
 	}
-	switch *routerKind {
-	case "direct":
-		opts.Router = compiler.RouteDirect
-	case "stochastic":
-		opts.Router = compiler.RouteStochastic
-	case "lookahead":
-		opts.Router = compiler.RouteLookahead
-	default:
-		return fmt.Errorf("unknown -router %q", *routerKind)
+	if opts.Router, err = compiler.ParseRouter(*routerKind); err != nil {
+		return err
 	}
-	switch *placement {
-	case "greedy":
-		opts.Placement = compiler.PlaceGreedy
-	case "identity":
-		opts.Placement = compiler.PlaceIdentity
-	case "random":
-		opts.Placement = compiler.PlaceRandom
-	default:
-		return fmt.Errorf("unknown -placement %q", *placement)
+	if opts.Placement, err = compiler.ParsePlacement(*placement); err != nil {
+		return err
 	}
 
 	var pipes []compiler.Pipeline
 	switch *pipeline {
-	case "trios":
-		pipes = []compiler.Pipeline{compiler.TriosPipeline}
-	case "baseline":
-		pipes = []compiler.Pipeline{compiler.Conventional}
-	case "groups":
-		pipes = []compiler.Pipeline{compiler.GroupsPipeline}
 	case "both":
 		pipes = []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline}
 		*stats = true
@@ -122,7 +118,11 @@ func run() error {
 		pipes = []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline, compiler.GroupsPipeline}
 		*stats = true
 	default:
-		return fmt.Errorf("unknown -pipeline %q", *pipeline)
+		p, err := compiler.ParsePipeline(*pipeline)
+		if err != nil {
+			return err
+		}
+		pipes = []compiler.Pipeline{p}
 	}
 
 	var noiseModel *noise.Params
@@ -161,13 +161,13 @@ func run() error {
 			if err != nil {
 				return fmt.Errorf("%v pipeline verification FAILED: %w", pipe, err)
 			}
-			fmt.Printf("%-9s  verified equivalent to source (%s)\n", pipe, how)
+			fmt.Fprintf(out, "%-9s  verified equivalent to source (%s)\n", pipe, how)
 		}
 		if *draw {
-			fmt.Printf("--- %v pipeline ---\n%s", pipe, res.Physical.Draw())
+			fmt.Fprintf(out, "--- %v pipeline ---\n%s", pipe, res.Physical.Draw())
 		}
 		if *stats {
-			printStats(pipe, res, noiseModel)
+			printStats(out, pipe, res, noiseModel)
 			continue
 		}
 		if *draw {
@@ -178,7 +178,7 @@ func run() error {
 			return err
 		}
 		if *outPath == "" {
-			fmt.Print(src)
+			fmt.Fprint(out, src)
 		} else if err := os.WriteFile(*outPath, []byte(src), 0o644); err != nil {
 			return err
 		}
@@ -288,16 +288,16 @@ func verifyResult(input *circuit.Circuit, res *compiler.Result) (string, error) 
 	return "basis-state spot checks", nil
 }
 
-func printStats(pipe compiler.Pipeline, res *compiler.Result, model *noise.Params) {
+func printStats(out io.Writer, pipe compiler.Pipeline, res *compiler.Result, model *noise.Params) {
 	s := res.Physical.CollectStats()
-	fmt.Printf("%-9s  two-qubit gates %5d  swaps %4d  depth %5d  total gates %6d\n",
+	fmt.Fprintf(out, "%-9s  two-qubit gates %5d  swaps %4d  depth %5d  total gates %6d\n",
 		pipe, s.TwoQubit, res.SwapsAdded, res.Physical.Depth(), s.Total)
 	if model != nil {
 		p, err := noise.SuccessProbability(res.Physical, *model)
 		if err != nil {
-			fmt.Printf("           success estimate failed: %v\n", err)
+			fmt.Fprintf(out, "           success estimate failed: %v\n", err)
 			return
 		}
-		fmt.Printf("           estimated success probability %.4g\n", p)
+		fmt.Fprintf(out, "           estimated success probability %.4g\n", p)
 	}
 }

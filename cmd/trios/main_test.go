@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trios/internal/benchmarks"
+	"trios/internal/compiler"
+	"trios/internal/qasm"
+	"trios/internal/topo"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("trios %s: %v", strings.Join(args, " "), err)
+	}
+	return out.String()
+}
+
+// TestCompileGolden pins the CLI's QASM output to a direct library compile
+// with the same options. Together with the service-side golden test (which
+// pins the daemon to the same library call), this guarantees POST
+// /v1/compile and `trios` emit byte-identical programs for one request.
+func TestCompileGolden(t *testing.T) {
+	args := []string{"-benchmark", "cnx_dirty-11", "-topology", "johannesburg", "-pipeline", "trios", "-seed", "7"}
+	got := runCLI(t, args...)
+
+	b, err := benchmarks.ByName("cnx_dirty-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topo.ByName("johannesburg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(input, g, compiler.Options{
+		Pipeline: compiler.TriosPipeline, Placement: compiler.PlaceGreedy, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := qasm.Emit(res.Physical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("CLI output differs from direct compiler.Compile + qasm.Emit")
+	}
+	// Determinism: a second run is byte-identical.
+	if again := runCLI(t, args...); again != got {
+		t.Fatal("repeated run produced different output")
+	}
+}
+
+func TestStatsOutput(t *testing.T) {
+	out := runCLI(t, "-benchmark", "bv-20", "-topology", "line", "-pipeline", "both", "-seed", "1")
+	if !strings.Contains(out, "two-qubit gates") {
+		t.Fatalf("stats output missing header: %q", out)
+	}
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "trios") {
+		t.Fatalf("expected both pipelines in stats: %q", out)
+	}
+}
+
+func TestListBenchmarks(t *testing.T) {
+	out := runCLI(t, "-list")
+	for _, name := range []string{"cnx_dirty-11", "grovers-9", "bv-20"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	out := runCLI(t, "-version")
+	if !strings.HasPrefix(out, "trios ") || !strings.Contains(out, "go1.") {
+		t.Fatalf("-version output = %q", out)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and succeeds, as ExitOnError did.
+func TestHelpExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-benchmark", "no-such-benchmark"},
+		{"-topology", "moebius", "-benchmark", "bv-20"},
+		{"-pipeline", "warp", "-benchmark", "bv-20"},
+		{"-in", "a.qasm", "-benchmark", "bv-20"},
+		{},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected an error", i, args)
+		}
+	}
+}

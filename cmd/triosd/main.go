@@ -1,0 +1,102 @@
+// Command triosd serves the Trios compiler over HTTP: POST /v1/compile
+// compiles OpenQASM 2.0 (or a named benchmark) for a target device with the
+// same pipelines, options, and bit-identical output as the trios CLI, backed
+// by a content-addressed compile cache, singleflight request coalescing, and
+// bounded-queue admission control (429 on overload). GET /v1/devices lists
+// topologies, /healthz reports liveness and build identity, /metrics exports
+// Prometheus counters. SIGINT/SIGTERM drains gracefully: in-flight compiles
+// finish (up to -grace), new work is refused with 503.
+//
+// Usage:
+//
+//	triosd -addr :8421 -workers 4 -queue 64 -cache 512
+//	curl -s localhost:8421/healthz
+//	curl -s -X POST localhost:8421/v1/compile -d '{"benchmark":"grovers-9","pipeline":"trios"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trios/internal/service"
+	"trios/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8421", "listen address")
+		workers     = flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "admission queue depth; overflow is shed with 429")
+		cacheSize   = flag.Int("cache", 512, "compile cache capacity in artifacts")
+		grace       = flag.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
+		showVersion = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
+	if err := run(*addr, *workers, *queue, *cacheSize, *grace); err != nil {
+		log.Fatalf("triosd: %v", err)
+	}
+}
+
+func run(addr string, workers, queue, cacheSize int, grace time.Duration) error {
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize})
+	srv := &http.Server{
+		Handler: svc.Handler(),
+		// Bound what a slow or stalled client can pin: headers must arrive
+		// promptly and a request body within a minute, otherwise the
+		// connection's goroutine would sit in front of admission control
+		// forever (and hold Shutdown open until the grace deadline). No
+		// WriteTimeout: response time is bounded by the compile itself,
+		// which the admission queue already controls.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("triosd listening on %s (%s, workers=%d queue=%d cache=%d)",
+		ln.Addr(), version.Get(), workers, queue, cacheSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("triosd draining (deadline %s)", grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// Flip to draining FIRST, while the listener is still up: load balancers
+	// polling /healthz see 503 and stop routing, and requests that still
+	// arrive get 503 for new compiles (cache hits keep serving). Only then
+	// stop accepting connections, finish open requests, and drain the pool.
+	svc.BeginDrain()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := svc.Close(drainCtx); err != nil {
+		log.Printf("triosd: drain deadline cut compilations short: %v", err)
+	}
+	log.Printf("triosd stopped")
+	return nil
+}

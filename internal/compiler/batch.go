@@ -23,6 +23,13 @@ type Job struct {
 	Input *circuit.Circuit
 	Graph *topo.Graph
 	Opts  Options
+	// FrontKey, when non-empty, is a content identity for Input (e.g. a hash
+	// of its canonical serialization): jobs carrying equal FrontKeys are
+	// asserted to have identical Input circuits and share front-cache
+	// entries even when their Input pointers differ. Long-lived callers like
+	// the serving layer need this — every HTTP request parses a fresh
+	// pointer, so pointer-keyed memoization could never hit across requests.
+	FrontKey string
 }
 
 // JobResult pairs a job with its outcome. Exactly one of Result and Err is
@@ -99,7 +106,7 @@ func (b *Batch) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
 					jr.Err = err
 				} else {
 					start := time.Now()
-					jr.Result, jr.Err = compileJob(cache, jobs[i])
+					jr.Result, jr.Err = compileJob(ctx, cache, jobs[i])
 					jr.Elapsed = time.Since(start)
 				}
 				select {
@@ -107,6 +114,56 @@ func (b *Batch) Stream(ctx context.Context, jobs []Job) <-chan JobResult {
 				case <-ctx.Done():
 					return
 				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Serve runs a persistent worker pool over an open-ended job feed: workers
+// drain the in channel until it is closed or ctx is cancelled, delivering
+// results in completion order on the returned channel (which closes once the
+// pool exits). Unlike Stream, Serve has no job list — it is the execution
+// engine for long-lived callers like the triosd service, which correlate
+// results to requests by Job.ID (JobResult.Index is -1). The pool shares one
+// bounded front-pass cache across its lifetime, and cancelling ctx aborts
+// in-flight compilations at their next pass boundary. Every job a worker
+// picks up produces exactly one JobResult, cancellation included — the
+// caller must keep draining the returned channel until it closes, and in
+// exchange no waiter is ever left without an answer.
+func (b *Batch) Serve(ctx context.Context, in <-chan Job) <-chan JobResult {
+	out := make(chan JobResult)
+	cache := newFrontCache()
+	cache.max = 256
+	w := b.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var j Job
+				var ok bool
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok = <-in:
+					if !ok {
+						return
+					}
+				}
+				jr := JobResult{Job: j, Index: -1}
+				start := time.Now()
+				jr.Result, jr.Err = compileJob(ctx, cache, j)
+				jr.Elapsed = time.Since(start)
+				out <- jr
 			}
 		}()
 	}
@@ -161,11 +218,11 @@ func Results(rs []JobResult) ([]*Result, error) {
 // device-capacity check runs before the front so oversized jobs fail with
 // the same error as a direct Compile, without paying for (or caching) a
 // decomposition that can never route.
-func compileJob(cache *frontCache, j Job) (*Result, error) {
+func compileJob(ctx context.Context, cache *frontCache, j Job) (*Result, error) {
 	if err := checkFits(j.Input, j.Graph); err != nil {
 		return nil, err
 	}
-	prepared, metrics, cached, err := cache.get(j.Input, j.Opts)
+	prepared, metrics, cached, err := cache.get(j.Input, j.FrontKey, j.Opts)
 	if err != nil {
 		return nil, err
 	}
@@ -179,14 +236,16 @@ func compileJob(cache *frontCache, j Job) (*Result, error) {
 		}
 		metrics = marked
 	}
-	return compileFrom(j.Input, prepared, metrics, j.Graph, j.Opts)
+	return compileFrom(ctx, j.Input, prepared, metrics, j.Graph, j.Opts)
 }
 
 // frontKey identifies a front-pass computation: its output depends only on
 // the input circuit identity, the pipeline kind, the (normalized) Toffoli
-// mode, and the Optimize flag.
+// mode, and the Optimize flag. Identity is the Job's content FrontKey when
+// it has one, else the input pointer.
 type frontKey struct {
-	input    *circuit.Circuit
+	input    *circuit.Circuit // nil when content keys the entry
+	content  string
 	pipeline Pipeline
 	mode     decompose.ToffoliMode
 	optimize bool
@@ -221,7 +280,15 @@ func frontMode(opts Options) decompose.ToffoliMode {
 // instead of recomputing.
 type frontCache struct {
 	mu sync.Mutex
-	m  map[frontKey]*frontEntry
+	// max, when > 0, bounds the map: inserting past it resets the map.
+	// Dropped entries are only memoization — callers already holding one
+	// keep their *frontEntry and complete normally. Finite job lists
+	// (Run/Stream) leave max at 0; the long-lived Serve pool must bound the
+	// cache because its keys include *circuit.Circuit pointer identity,
+	// which never repeats across independently-parsed requests, so entries
+	// would otherwise accumulate for the life of the daemon.
+	max int
+	m   map[frontKey]*frontEntry
 }
 
 type frontEntry struct {
@@ -236,12 +303,19 @@ func newFrontCache() *frontCache {
 }
 
 // get returns the memoized front output for (input, opts); cached reports
-// whether this call reused an entry another job computed.
-func (fc *frontCache) get(input *circuit.Circuit, opts Options) (c *circuit.Circuit, metrics []PassMetric, cached bool, err error) {
+// whether this call reused an entry another job computed. A non-empty
+// contentKey replaces pointer identity (see Job.FrontKey).
+func (fc *frontCache) get(input *circuit.Circuit, contentKey string, opts Options) (c *circuit.Circuit, metrics []PassMetric, cached bool, err error) {
 	key := frontKey{input: input, pipeline: opts.Pipeline, mode: frontMode(opts), optimize: opts.Optimize}
+	if contentKey != "" {
+		key.input, key.content = nil, contentKey
+	}
 	fc.mu.Lock()
 	e := fc.m[key]
 	if e == nil {
+		if fc.max > 0 && len(fc.m) >= fc.max {
+			fc.m = make(map[frontKey]*frontEntry)
+		}
 		e = &frontEntry{}
 		fc.m[key] = e
 	}

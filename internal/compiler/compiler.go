@@ -13,6 +13,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -150,7 +151,15 @@ func (r *Result) TwoQubitGates() int { return r.Physical.TwoQubitCount() }
 // The pipeline is assembled from named passes (see passmgr.go) and every
 // stage's wall-clock and gate-count deltas land in Result.Passes.
 func Compile(input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
-	return compileFrom(input, nil, nil, g, opts)
+	return compileFrom(context.Background(), input, nil, nil, g, opts)
+}
+
+// CompileContext is Compile with cancellation: the pipeline checks ctx
+// between passes and aborts with the context's error instead of starting the
+// next stage. The serving layer uses it so a draining daemon stops burning
+// CPU on compilations whose results nobody will read.
+func CompileContext(ctx context.Context, input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, error) {
+	return compileFrom(ctx, input, nil, nil, g, opts)
 }
 
 func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options) (*layout.Layout, error) {

@@ -1,0 +1,111 @@
+// Cache-key-stable option fingerprints: the serving layer content-addresses
+// compiled artifacts by (canonical QASM, device, option set), so every option
+// that can change the compiled output must serialize into a canonical string
+// — and options that cannot (function-valued noise weights) must refuse a key
+// rather than silently aliasing distinct compilations.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"trios/internal/decompose"
+)
+
+// The Parse* helpers are the single string→enum mapping shared by every
+// user-facing surface (the trios CLI flags and the triosd wire protocol), so
+// a daemon request stays a transliteration of a command line: the two can
+// never accept different vocabularies.
+
+// ParsePipeline resolves a pipeline name: trios, baseline, or groups.
+func ParsePipeline(s string) (Pipeline, error) {
+	switch s {
+	case "trios":
+		return TriosPipeline, nil
+	case "baseline":
+		return Conventional, nil
+	case "groups":
+		return GroupsPipeline, nil
+	}
+	return 0, fmt.Errorf("compiler: unknown pipeline %q (want trios, baseline, or groups)", s)
+}
+
+// ParseRouter resolves a routing strategy: direct, stochastic, or lookahead.
+func ParseRouter(s string) (RouterKind, error) {
+	switch s {
+	case "direct":
+		return RouteDirect, nil
+	case "stochastic":
+		return RouteStochastic, nil
+	case "lookahead":
+		return RouteLookahead, nil
+	}
+	return 0, fmt.Errorf("compiler: unknown router %q (want direct, stochastic, or lookahead)", s)
+}
+
+// ParsePlacement resolves an initial-mapping strategy: greedy, identity, or
+// random.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "greedy":
+		return PlaceGreedy, nil
+	case "identity":
+		return PlaceIdentity, nil
+	case "random":
+		return PlaceRandom, nil
+	}
+	return 0, fmt.Errorf("compiler: unknown placement %q (want greedy, identity, or random)", s)
+}
+
+// ParseToffoli resolves a Toffoli decomposition mode: auto, 6, or 8.
+func ParseToffoli(s string) (decompose.ToffoliMode, error) {
+	switch s {
+	case "auto":
+		return decompose.Auto, nil
+	case "6":
+		return decompose.Six, nil
+	case "8":
+		return decompose.Eight, nil
+	}
+	return 0, fmt.Errorf("compiler: unknown toffoli mode %q (want auto, 6, or 8)", s)
+}
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceGreedy:
+		return "greedy"
+	case PlaceRandom:
+		return "random"
+	}
+	return "identity"
+}
+
+// CacheKey returns a canonical fingerprint of every option that can affect
+// the compiled circuit. Two Options values with equal CacheKeys compile any
+// given input to bit-identical results (compilation is deterministic in the
+// seed), which is what lets a compile cache serve one job's artifact for
+// another. It deliberately over-segments — a seed is included even for
+// configurations that never consume it — because a key that is too fine
+// only costs hit rate, while one too coarse serves wrong answers.
+//
+// Options carrying a NoiseWeight function have no canonical serialization
+// and return an error: callers must compile those uncached.
+func (o Options) CacheKey() (string, error) {
+	if o.NoiseWeight != nil {
+		return "", fmt.Errorf("compiler: options with a NoiseWeight function have no cache key")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline=%s;router=%s;toffoli=%s;placement=%s;seed=%d;optimize=%t;layout=",
+		o.Pipeline, o.Router, o.Mode, o.Placement, o.Seed, o.Optimize)
+	if o.InitialLayout == nil {
+		b.WriteString("none")
+	} else {
+		for i, p := range o.InitialLayout {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", p)
+		}
+	}
+	return b.String(), nil
+}

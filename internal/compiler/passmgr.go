@@ -7,6 +7,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +24,12 @@ import (
 // circuit, the device graph, the mapping bookkeeping that routing passes
 // maintain, and the per-pass metrics the manager accumulates.
 type PassContext struct {
+	// Ctx, when non-nil, makes the pipeline cancellation-aware: the manager
+	// checks it between passes and aborts with the context's error instead of
+	// starting the next stage. Individual passes are not interrupted — a
+	// cancelled compilation finishes its current pass and stops at the next
+	// boundary, so partially-transformed circuits never escape.
+	Ctx context.Context
 	// Graph is the target coupling graph. It is read-only and may be shared
 	// across concurrent compilations.
 	Graph *topo.Graph
@@ -102,9 +109,15 @@ func NewPassManager(label string, passes ...Pass) *PassManager {
 func (pm *PassManager) Passes() []Pass { return pm.passes }
 
 // Run executes every pass in order, appending one PassMetric per pass to
-// ctx.Metrics. The first failing pass aborts the pipeline.
+// ctx.Metrics. The first failing pass aborts the pipeline, as does
+// cancellation of ctx.Ctx at any pass boundary.
 func (pm *PassManager) Run(ctx *PassContext) error {
 	for _, p := range pm.passes {
+		if ctx.Ctx != nil {
+			if err := ctx.Ctx.Err(); err != nil {
+				return fmt.Errorf("compiler: %s pipeline cancelled before pass %s: %w", pm.label, p.Name(), err)
+			}
+		}
 		before := ctx.Circuit.CollectStats()
 		start := time.Now()
 		if err := p.Run(ctx, ctx.Circuit); err != nil {
@@ -456,8 +469,8 @@ func checkFits(input *circuit.Circuit, g *topo.Graph) error {
 // compileFrom runs the pipeline for opts. When prepared is non-nil it is
 // the (possibly cached) output of the front passes for this input and
 // configuration, and the front is skipped; frontMetrics carries the metrics
-// to attribute to it.
-func compileFrom(input, prepared *circuit.Circuit, frontMetrics []PassMetric, g *topo.Graph, opts Options) (*Result, error) {
+// to attribute to it. Cancelling stdctx aborts at the next pass boundary.
+func compileFrom(stdctx context.Context, input, prepared *circuit.Circuit, frontMetrics []PassMetric, g *topo.Graph, opts Options) (*Result, error) {
 	if err := checkFits(input, g); err != nil {
 		return nil, err
 	}
@@ -465,7 +478,7 @@ func compileFrom(input, prepared *circuit.Circuit, frontMetrics []PassMetric, g 
 	// and routing passes then run on pure table lookups, and the one-time
 	// build cost is not misattributed to whichever pass queried first.
 	g.EnsureOracle()
-	ctx := &PassContext{Graph: g, Opts: opts}
+	ctx := &PassContext{Ctx: stdctx, Graph: g, Opts: opts}
 	if prepared != nil {
 		ctx.Circuit = prepared
 		ctx.Metrics = append(ctx.Metrics, frontMetrics...)

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"trios/internal/compiler"
+)
+
+// Artifact is one cached compilation result. Body is the pre-marshaled JSON
+// response: the HTTP layer writes it verbatim, which is what makes a cache
+// hit bit-identical to the cold compile that populated the entry (including
+// the original per-pass durations — a hit reports the compile it is serving,
+// not a compile that never happened).
+type Artifact struct {
+	Key           string                `json:"key"`
+	Device        string                `json:"device"`
+	Pipeline      string                `json:"pipeline"`
+	QASM          string                `json:"qasm"`
+	TwoQubitGates int                   `json:"two_qubit_gates"`
+	Swaps         int                   `json:"swaps"`
+	Depth         int                   `json:"depth"`
+	TotalGates    int                   `json:"total_gates"`
+	InitialLayout []int                 `json:"initial_layout"`
+	FinalLayout   []int                 `json:"final_layout"`
+	Passes        []compiler.PassMetric `json:"passes"`
+	CompileNanos  int64                 `json:"compile_ns"`
+
+	Body []byte `json:"-"`
+}
+
+func (a *Artifact) bytes() int64 { return int64(len(a.Body)) + int64(len(a.Key)) }
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Cache is a bounded LRU of compiled artifacts keyed by content address.
+// Artifacts are immutable once inserted; the cache hands out shared pointers.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	art *Artifact
+}
+
+// NewCache returns an LRU holding at most capacity artifacts (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{capacity: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the artifact for key, promoting it to most-recently-used.
+func (c *Cache) Get(key string) (*Artifact, bool) {
+	return c.get(key, true)
+}
+
+// get is Get with optional miss counting: re-checks whose initial probe
+// already counted its miss pass countMiss=false so one logical lookup never
+// lands in the stats twice (a found re-check still counts its hit).
+func (c *Cache) get(key string, countMiss bool) (*Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		if countMiss {
+			c.misses++
+		}
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).art, true
+}
+
+// Add inserts an artifact, evicting least-recently-used entries beyond
+// capacity. Re-adding an existing key refreshes its recency but keeps the
+// first artifact (identical content addresses hold identical artifacts).
+func (c *Cache) Add(key string, a *Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, art: a})
+	c.bytes += a.bytes()
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.art.bytes()
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Bytes: c.bytes, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

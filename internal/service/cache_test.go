@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func art(key string) *Artifact {
+	return &Artifact{Key: key, Body: []byte("{" + key + "}")}
+}
+
+func TestCacheEvictionAtCapacity(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", art("a"))
+	c.Add("b", art("b"))
+	c.Add("c", art("c")) // evicts a (least recently used)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should survive")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+}
+
+func TestCacheGetPromotes(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", art("a"))
+	c.Add("b", art("b"))
+	if _, ok := c.Get("a"); !ok { // a becomes most recent
+		t.Fatal("a should be present")
+	}
+	c.Add("c", art("c")) // must evict b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("promoted entry a was evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestCacheReAddKeepsFirstArtifact(t *testing.T) {
+	c := NewCache(2)
+	first := art("k")
+	c.Add("k", first)
+	c.Add("k", art("k"))
+	got, ok := c.Get("k")
+	if !ok || got != first {
+		t.Fatal("re-adding a key must keep the original artifact")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheByteAccounting(t *testing.T) {
+	c := NewCache(1)
+	c.Add("a", art("a"))
+	before := c.Stats().Bytes
+	if before <= 0 {
+		t.Fatalf("bytes = %d, want > 0", before)
+	}
+	c.Add("bb", art("bb")) // evicts a; accounting must not drift
+	after := c.Stats().Bytes
+	if after != art("bb").bytes() {
+		t.Fatalf("bytes = %d, want %d", after, art("bb").bytes())
+	}
+}
+
+// TestSingleflightCollapses proves N concurrent callers for one key execute
+// fn exactly once, deterministically: the leader blocks inside fn until all
+// followers are known to be waiting.
+func TestSingleflightCollapses(t *testing.T) {
+	var g flightGroup
+	const followers = 15
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	want := art("k")
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		a, shared, err := g.do(context.Background(), "k", func() (*Artifact, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return want, nil
+		})
+		if a != want || shared {
+			leaderDone <- errors.New("leader got wrong artifact or shared=true")
+			return
+		}
+		leaderDone <- err
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	results := make([]*Artifact, followers)
+	shareds := make([]bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, shared, err := g.do(context.Background(), "k", func() (*Artifact, error) {
+				calls.Add(1)
+				return art("unexpected"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = a, shared
+		}(i)
+	}
+	// Release the leader only once every follower has joined the in-flight
+	// call, so exactly-once execution is deterministic, not a race we
+	// usually win.
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		c := g.m["k"]
+		g.mu.Unlock()
+		return c != nil && c.waiters.Load() == followers
+	})
+	close(release)
+	wg.Wait()
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i := range results {
+		if results[i] != want {
+			t.Fatalf("follower %d got a different artifact", i)
+		}
+		if !shareds[i] {
+			t.Fatalf("follower %d was not marked shared", i)
+		}
+	}
+}
+
+// TestSingleflightFollowerCancel checks a follower abandons a stuck leader
+// when its own context dies, without disturbing the leader.
+func TestSingleflightFollowerCancel(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = g.do(context.Background(), "k", func() (*Artifact, error) {
+			close(started)
+			<-release
+			return art("k"), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.do(ctx, "k", func() (*Artifact, error) { return nil, nil })
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got shared=%v err=%v, want shared follower cancellation", shared, err)
+	}
+	close(release)
+}
+
+// TestSingleflightErrorPropagates checks followers share the leader's error
+// and the key is retryable afterwards.
+func TestSingleflightErrorPropagates(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, shared, err := g.do(context.Background(), "k", func() (*Artifact, error) { return nil, boom })
+	if shared || !errors.Is(err, boom) {
+		t.Fatalf("got shared=%v err=%v", shared, err)
+	}
+	a, shared, err := g.do(context.Background(), "k", func() (*Artifact, error) { return art("k"), nil })
+	if err != nil || shared || a == nil {
+		t.Fatalf("key not retryable after error: %v", err)
+	}
+}

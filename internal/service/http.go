@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"trios/internal/topo"
+	"trios/internal/version"
+)
+
+// maxRequestBytes bounds POST /v1/compile bodies; QASM for 20-qubit devices
+// is far below this, so anything larger is abuse, not workload.
+const maxRequestBytes = 4 << 20
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/compile  — compile QASM (or a named benchmark) for a device
+//	GET  /v1/devices  — the device registry
+//	GET  /healthz     — liveness + build identity (503 while draining)
+//	GET  /metrics     — Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.metrics.countResponse(sw.code, time.Since(start).Seconds())
+	})
+}
+
+// errorBody is the JSON error envelope for every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := Resolve(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	art, outcome, err := s.Compile(r.Context(), spec)
+	if err != nil {
+		// Request-shape problems were all caught by Resolve above; Compile
+		// only fails with admission, drain, pipeline, or context errors.
+		var compErr *CompileError
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &compErr):
+			writeError(w, http.StatusUnprocessableEntity, err)
+		case errors.Is(err, r.Context().Err()):
+			// The client went away; the code is for the access log only.
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Trios-Cache", outcome)
+	w.Header().Set("X-Trios-Key", art.Key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(art.Body)
+}
+
+// deviceInfo describes one registry topology.
+type deviceInfo struct {
+	Name   string `json:"name"`   // CLI / request name
+	Device string `json:"device"` // canonical graph name
+	Qubits int    `json:"qubits"`
+	Edges  int    `json:"edges"`
+}
+
+func (s *Service) handleDevices(w http.ResponseWriter, r *http.Request) {
+	names := topo.Names()
+	out := make([]deviceInfo, 0, len(names))
+	for _, n := range names {
+		g, err := deviceByName(n)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, deviceInfo{Name: n, Device: g.Name(), Qubits: g.NumQubits(), Edges: len(g.EdgeList())})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status  string       `json:"status"`
+	Build   version.Info `json:"build"`
+	Uptime  float64      `json:"uptime_seconds"`
+	InFlt   int64        `json:"in_flight"`
+	Queue   int          `json:"queue_depth"`
+	QueueCp int          `json:"queue_capacity"`
+	Cached  int          `json:"cache_entries"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	qlen, qcap := s.QueueStats()
+	body := healthBody{
+		Status:  "ok",
+		Build:   version.Get(),
+		Uptime:  time.Since(s.metrics.start).Seconds(),
+		InFlt:   s.metrics.inFlight.Load(),
+		Queue:   qlen,
+		QueueCp: qcap,
+		Cached:  s.cache.Len(),
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	qlen, qcap := s.QueueStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.cache.Stats(), qlen, qcap)
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trios/internal/compiler"
+	"trios/internal/qasm"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers caps concurrent compilations (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue between the HTTP layer and the
+	// compile workers. A full queue sheds load (ErrOverloaded -> 429) instead
+	// of queueing unboundedly. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the artifact LRU. Default 512.
+	CacheEntries int
+}
+
+var (
+	// ErrOverloaded reports that the admission queue was full; the HTTP
+	// layer maps it to 429.
+	ErrOverloaded = errors.New("service: compile queue full")
+	// ErrDraining reports that the service has stopped admitting work; the
+	// HTTP layer maps it to 503.
+	ErrDraining = errors.New("service: draining")
+)
+
+// CompileError wraps a pipeline failure for an admissible, well-formed
+// request (e.g. a circuit larger than the device); the HTTP layer maps it to
+// 422 to distinguish "your program cannot compile" from "your request is
+// malformed" (400) and from server trouble (5xx).
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// Service is the compile-serving core: cache in front, singleflight behind
+// it, and a bounded queue into the compiler's persistent worker pool behind
+// that. One Service instance serves all requests of a daemon.
+type Service struct {
+	cfg     Config
+	cache   *Cache
+	flight  flightGroup
+	metrics *metrics
+	queue   chan compiler.Job
+
+	mu      sync.Mutex
+	waiters map[string]chan compiler.JobResult
+
+	nextID   atomic.Uint64
+	closing  atomic.Bool
+	inflight sync.WaitGroup
+
+	cancel  context.CancelFunc
+	drained chan struct{}
+}
+
+// New starts a Service: its worker pool and result dispatcher run until
+// Close.
+func New(cfg Config) *Service {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 512
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+		queue:   make(chan compiler.Job, cfg.QueueDepth),
+		waiters: make(map[string]chan compiler.JobResult),
+		cancel:  cancel,
+		drained: make(chan struct{}),
+	}
+	pool := &compiler.Batch{Workers: cfg.Workers}
+	go s.dispatch(pool.Serve(ctx, s.queue))
+	return s
+}
+
+// dispatch routes pool results to the per-request waiter channels.
+func (s *Service) dispatch(out <-chan compiler.JobResult) {
+	for jr := range out {
+		s.mu.Lock()
+		ch := s.waiters[jr.Job.ID]
+		delete(s.waiters, jr.Job.ID)
+		s.mu.Unlock()
+		if ch != nil {
+			ch <- jr // buffered; never blocks
+		}
+	}
+	// The pool is gone. Any waiter left is a job that was sitting in the
+	// queue when shutdown cancelled the workers; answer it so its request
+	// unblocks with the drain error instead of hanging.
+	s.mu.Lock()
+	for id, ch := range s.waiters {
+		delete(s.waiters, id)
+		ch <- compiler.JobResult{Err: context.Canceled}
+	}
+	s.mu.Unlock()
+	close(s.drained)
+}
+
+// Compile serves one resolved request. outcome reports how: "hit" (served
+// from cache), "miss" (this call compiled), or "coalesced" (joined another
+// in-flight compile of the same key). Hits and coalesced calls return the
+// same Artifact pointer as the compile that produced it, so their Body bytes
+// are identical by construction.
+func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, outcome string, err error) {
+	if a, ok := s.cache.Get(spec.Key); ok {
+		s.metrics.countOutcome("hit")
+		return a, "hit", nil
+	}
+	servedFromCache := false
+	a, shared, err := s.flight.do(ctx, spec.Key, func() (*Artifact, error) {
+		// Re-check under the flight: a caller that missed the cache may have
+		// raced an identical compile that finished (and left the flight map)
+		// between its Get and its do — recompiling a cached artifact would
+		// burn a worker slot for nothing. The miss is not re-counted; the
+		// top-level Get already recorded this lookup.
+		if a, ok := s.cache.get(spec.Key, false); ok {
+			servedFromCache = true
+			return a, nil
+		}
+		a, err := s.submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Add(spec.Key, a)
+		return a, nil
+	})
+	// servedFromCache is only written by this call's own fn (never when
+	// shared), so reading it here is race-free.
+	outcome = "miss"
+	switch {
+	case shared:
+		outcome = "coalesced"
+	case servedFromCache:
+		outcome = "hit"
+	}
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.countRejected()
+		}
+		return nil, outcome, err
+	}
+	s.metrics.countOutcome(outcome)
+	return a, outcome, nil
+}
+
+// submit admission-controls one compile into the bounded queue and waits for
+// its result. It never blocks on a full queue: overload is shed immediately.
+// Once admitted, the compile runs to completion regardless of any individual
+// request's context — the work is spent either way, the artifact feeds every
+// coalesced follower, and Serve guarantees a result for every admitted job
+// (even pool shutdown delivers a cancellation error), so the wait is bounded
+// by the compile itself. A leader whose client disconnects therefore still
+// populates the cache instead of poisoning its followers with its own
+// context error.
+func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
+	if s.closing.Load() {
+		return nil, ErrDraining
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.closing.Load() { // re-check: Close may have raced the Add
+		return nil, ErrDraining
+	}
+	id := fmt.Sprintf("req-%d", s.nextID.Add(1))
+	ch := make(chan compiler.JobResult, 1)
+	s.mu.Lock()
+	s.waiters[id] = ch
+	s.mu.Unlock()
+	job := compiler.Job{ID: id, Input: spec.Input, Graph: spec.Graph, Opts: spec.Opts, FrontKey: spec.InputDigest}
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	jr := <-ch
+	if jr.Err != nil {
+		// The pool cancels compiles only at shutdown; surface that as the
+		// drain, not as a defect of the request.
+		if errors.Is(jr.Err, context.Canceled) {
+			return nil, ErrDraining
+		}
+		return nil, &CompileError{Err: jr.Err}
+	}
+	s.metrics.compileHist.observe(jr.Elapsed.Seconds())
+	a, err := buildArtifact(spec, jr)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.observePasses(a)
+	return a, nil
+}
+
+// buildArtifact freezes one compile result into its cacheable wire form.
+func buildArtifact(spec *JobSpec, jr compiler.JobResult) (*Artifact, error) {
+	src, err := qasm.Emit(jr.Result.Physical)
+	if err != nil {
+		return nil, &CompileError{Err: err}
+	}
+	stats := jr.Result.Physical.CollectStats()
+	a := &Artifact{
+		Key:           spec.Key,
+		Device:        spec.Graph.Name(),
+		Pipeline:      spec.Opts.Pipeline.String(),
+		QASM:          src,
+		TwoQubitGates: stats.TwoQubit,
+		Swaps:         jr.Result.SwapsAdded,
+		Depth:         jr.Result.Physical.Depth(),
+		TotalGates:    stats.Total,
+		InitialLayout: jr.Result.Initial,
+		FinalLayout:   jr.Result.Final,
+		Passes:        jr.Result.Passes,
+		CompileNanos:  jr.Elapsed.Nanoseconds(),
+	}
+	body, err := json.Marshal(a)
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+// BeginDrain marks the service draining before the HTTP listener closes:
+// /healthz flips to 503 "draining" (so load balancers stop routing) and new
+// compiles are refused with ErrDraining, while already-cached artifacts keep
+// serving. Call it first on shutdown, then stop the listener, then Close.
+func (s *Service) BeginDrain() { s.closing.Store(true) }
+
+// Draining reports whether the service has stopped admitting work.
+func (s *Service) Draining() bool { return s.closing.Load() }
+
+// Cache exposes the artifact cache (stats, tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// QueueStats returns the admission queue's current depth and capacity.
+func (s *Service) QueueStats() (length, capacity int) {
+	return len(s.queue), cap(s.queue)
+}
+
+// Close drains the service: new work is refused with ErrDraining, in-flight
+// compilations finish (until ctx expires, at which point they are cancelled
+// at their next pass boundary), and the worker pool shuts down. Close
+// returns ctx.Err() if the drain deadline cut compilations short.
+func (s *Service) Close(ctx context.Context) error {
+	s.closing.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancel() // stop the pool; aborts any still-running compiles
+	<-s.drained
+	return err
+}

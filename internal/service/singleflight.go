@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup collapses concurrent compilations of the same content address
+// into one: the first caller for a key runs the compile, later callers for
+// that key block until it finishes and share its result. Without this, a
+// thundering herd of identical requests — the common case behind a cache
+// fault under load — would each burn a worker computing the same artifact.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+	// waiters counts followers that joined this call (observability/tests).
+	waiters atomic.Int32
+}
+
+// do runs fn for key unless a call for key is already in flight, in which
+// case it waits for that call and returns its result with shared=true.
+// Waiting followers respect their own ctx: a follower whose client gives up
+// detaches without affecting the leader's compile.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Artifact, error)) (art *Artifact, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.waiters.Add(1)
+		select {
+		case <-c.done:
+			return c.art, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Cleanup must survive a panic in fn (net/http recovers per-request
+	// panics): without it the stale call would wedge the key forever —
+	// every later request for it would block on done until the daemon
+	// restarts. Followers of a panicked leader get an error and the next
+	// caller retries fresh.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errors.New("service: compile panicked")
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.art, c.err = fn()
+	completed = true
+	return c.art, false, c.err
+}

@@ -1,6 +1,9 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Johannesburg returns the coupling graph of IBM's 20-qubit Johannesburg
 // device (Fig. 5a of the paper): four horizontal chains of five qubits with
@@ -116,20 +119,42 @@ func PaperTopologies() []*Graph {
 	return []*Graph{Johannesburg(), Grid5x4(), Line20(), Clusters5x4()}
 }
 
+// registry is the single source of truth for name-addressable devices:
+// ByName resolves against it and Names lists it, so the lookup and the
+// discovery surface (triosd's GET /v1/devices) cannot drift apart.
+var registry = []struct {
+	name    string
+	aliases []string
+	build   func() *Graph
+}{
+	{"johannesburg", []string{"ibmq", "ibmq-johannesburg"}, Johannesburg},
+	{"grid", []string{"full-grid-5x4"}, Grid5x4},
+	{"line", []string{"line-20"}, Line20},
+	{"clusters", []string{"clusters-5x4"}, Clusters5x4},
+	{"full", []string{"full-20"}, func() *Graph { return FullyConnected(20) }},
+}
+
+// Names returns the registry's canonical request/CLI names in display
+// order; every entry resolves through ByName.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
 // ByName returns a named 20-qubit topology, for CLI flag parsing.
 func ByName(name string) (*Graph, error) {
-	switch name {
-	case "johannesburg", "ibmq", "ibmq-johannesburg":
-		return Johannesburg(), nil
-	case "grid", "full-grid-5x4":
-		return Grid5x4(), nil
-	case "line", "line-20":
-		return Line20(), nil
-	case "clusters", "clusters-5x4":
-		return Clusters5x4(), nil
-	case "full", "full-20":
-		return FullyConnected(20), nil
-	default:
-		return nil, fmt.Errorf("topo: unknown topology %q (want johannesburg, grid, line, clusters, or full)", name)
+	for _, e := range registry {
+		if name == e.name {
+			return e.build(), nil
+		}
+		for _, a := range e.aliases {
+			if name == a {
+				return e.build(), nil
+			}
+		}
 	}
+	return nil, fmt.Errorf("topo: unknown topology %q (want %s)", name, strings.Join(Names(), ", "))
 }

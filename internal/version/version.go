@@ -1,0 +1,57 @@
+// Package version carries the toolchain's build identity, shared by the
+// trios and experiments CLIs (-version) and the triosd daemon (/healthz), so
+// every surface reports the same answer to "what exactly is running here?".
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the toolchain version. Release builds override it with:
+//
+//	go build -ldflags "-X trios/internal/version.Version=v1.2.3"
+var Version = "0.4.0-dev"
+
+// Info is the structured build identity.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// Get assembles the build identity, picking VCS metadata out of the binary's
+// embedded build info when the toolchain stamped it.
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, e.g.
+// "trios 0.4.0-dev go1.24.0 3f8a2c91d04e".
+func (i Info) String() string {
+	s := fmt.Sprintf("trios %s %s", i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if i.Dirty {
+			s += "+dirty"
+		}
+	}
+	return s
+}

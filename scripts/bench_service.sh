@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench_service.sh — build triosd + loadgen, serve on a local port, drive the
+# standard benchmark mix, and leave BENCH_service.json behind. Used by
+# `make bench-service` and the CI serving-smoke job.
+#
+# Environment knobs:
+#   GO                  go binary (default: go)
+#   TRIOSD_ADDR         listen address (default: 127.0.0.1:8421)
+#   TRIOSD_RACE         set to "-race" to race-instrument the daemon
+#   LOADGEN_DURATION    load duration (default: 5s)
+#   LOADGEN_CONCURRENCY closed-loop workers (default: 8)
+#   LOADGEN_OUT         report path (default: BENCH_service.json)
+set -eu
+
+GO=${GO:-go}
+ADDR=${TRIOSD_ADDR:-127.0.0.1:8421}
+DUR=${LOADGEN_DURATION:-5s}
+CONC=${LOADGEN_CONCURRENCY:-8}
+OUT=${LOADGEN_OUT:-BENCH_service.json}
+RACE=${TRIOSD_RACE:-}
+
+bindir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bindir"
+}
+trap cleanup EXIT INT TERM
+
+# shellcheck disable=SC2086 # RACE is intentionally word-split ("-race" or empty)
+$GO build $RACE -o "$bindir/triosd" ./cmd/triosd
+$GO build -o "$bindir/loadgen" ./cmd/loadgen
+
+"$bindir/triosd" -addr "$ADDR" &
+pid=$!
+
+up=""
+i=0
+while [ $i -lt 50 ]; do
+    if "$bindir/loadgen" -addr "http://$ADDR" -ping 2>/dev/null; then
+        up=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$up" ]; then
+    echo "bench_service: triosd did not become healthy on $ADDR" >&2
+    exit 1
+fi
+
+"$bindir/loadgen" -addr "http://$ADDR" -duration "$DUR" -concurrency "$CONC" -out "$OUT"
+
+# Graceful shutdown must complete on its own.
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "bench_service: wrote $OUT"
