@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-route bench-sim bench-service serve loadgen lint vet fmt fmt-check bench-json
+.PHONY: all build test race bench bench-route bench-sim bench-noise bench-service serve loadgen lint vet fmt fmt-check bench-json
 
 all: build test
 
@@ -15,7 +15,7 @@ test:
 # engine's parallel sweeps and trajectory workers, and the serving layer's
 # cache/singleflight/admission machinery.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -40,6 +40,14 @@ bench-json:
 bench-sim:
 	$(GO) run ./cmd/experiments -sim-bench BENCH_sim.json > BENCH_sim.txt
 	cat BENCH_sim.txt
+
+# Noise-aware sweep: the benchmark suite compiled under per-device
+# calibrations with the Uniform vs Noise cost models, evaluated on estimated
+# success. Writes BENCH_noise.json and prints the comparison; exits nonzero
+# if the noise-aware arm loses on mean. NOISE_BENCH_FLAGS=-noise-short
+# shrinks it to the CI subset.
+bench-noise:
+	$(GO) run ./cmd/experiments -noise-bench BENCH_noise.json $(NOISE_BENCH_FLAGS)
 
 # Run the compile daemon locally (ctrl-c drains gracefully).
 serve:

@@ -37,6 +37,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel compilation workers (0 = GOMAXPROCS)")
 		benchJSON   = flag.String("bench-json", "", "run only the compile-path benchmark and write its JSON report here (e.g. BENCH_compile.json)")
 		simJSON     = flag.String("sim-bench", "", "run only the simulation-engine benchmark and write its JSON report here (e.g. BENCH_sim.json); a text summary goes to stdout")
+		noiseJSON   = flag.String("noise-bench", "", "run only the noise-aware sweep (uniform vs noise cost model under per-device calibrations) and write its JSON report here (e.g. BENCH_noise.json); a text summary goes to stdout")
+		noiseShort  = flag.Bool("noise-short", false, "shrink the noise-aware sweep to a CI-sized subset of benchmarks and topologies")
 		mcShots     = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
 		mcTrips     = flag.Int("mc-triplets", 4, "random triplets for the mc-toffoli experiment")
 		showVersion = flag.Bool("version", false, "print build version and exit")
@@ -70,6 +72,36 @@ func main() {
 		report.WriteText(os.Stdout)
 		if !report.Deterministic {
 			fmt.Fprintln(os.Stderr, "sim bench: parallel paths diverged from serial results")
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *noiseJSON != "" {
+		report, err := experiments.RunNoiseBench(*noiseShort, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*noiseJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if report.MeanNoise < report.MeanUniform {
+			fmt.Fprintln(os.Stderr, "noise bench: noise-aware mean success fell below the uniform control")
 			os.Exit(1)
 		}
 		return

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"trios/internal/benchmarks"
 	"trios/internal/circuit"
 	"trios/internal/compiler"
+	"trios/internal/device"
 	"trios/internal/experiments"
 	"trios/internal/noise"
 	"trios/internal/qasm"
@@ -61,6 +63,8 @@ func run(args []string, out io.Writer) error {
 		seed        = fs.Int64("seed", 1, "seed for stochastic routing and random placement")
 		stats       = fs.Bool("stats", false, "print compile statistics instead of QASM")
 		optimize    = fs.Bool("optimize", false, "run gate cancellation before and after compilation")
+		calibration = fs.String("calibration", "", "device calibration: a registry name (e.g. johannesburg-0819) or a JSON file; makes compilation noise-aware and reports estimated success + makespan")
+		cost        = fs.String("cost", "", "cost model under -calibration: noise (default) or uniform (compile noise-blind, bit-identical to no calibration, but still report fidelity)")
 		draw        = fs.Bool("draw", false, "print an ASCII diagram of the compiled circuit")
 		verify      = fs.Bool("verify", false, "verify the compiled circuit against the source (stabilizer sim for Clifford circuits, statevector for small devices, basis-state spot checks otherwise)")
 		model       = fs.String("model", "", "also estimate success probability: 'current' or '<N>x' improvement")
@@ -106,6 +110,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if opts.Placement, err = compiler.ParsePlacement(*placement); err != nil {
+		return err
+	}
+	if opts.Calibration, opts.CostModel, err = loadCalibration(*calibration, *cost); err != nil {
 		return err
 	}
 
@@ -184,6 +191,24 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// loadCalibration resolves -calibration: a registry name first, else a JSON
+// calibration file, with -cost parsed by the same helper the wire protocol
+// uses so the CLI and the daemon accept one vocabulary.
+func loadCalibration(name, cost string) (*device.Calibration, device.CostModel, error) {
+	if name == "" || !strings.ContainsAny(name, "./"+string(os.PathSeparator)) {
+		return compiler.ResolveCalibration(name, cost)
+	}
+	cal, err := device.LoadFile(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := compiler.ParseCost(cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cal, cm, nil
 }
 
 func loadInput(inPath, benchName string) (*circuit.Circuit, error) {
@@ -292,6 +317,10 @@ func printStats(out io.Writer, pipe compiler.Pipeline, res *compiler.Result, mod
 	s := res.Physical.CollectStats()
 	fmt.Fprintf(out, "%-9s  two-qubit gates %5d  swaps %4d  depth %5d  total gates %6d\n",
 		pipe, s.TwoQubit, res.SwapsAdded, res.Physical.Depth(), s.Total)
+	if res.Makespan > 0 {
+		fmt.Fprintf(out, "           calibrated (%s): estimated success %.4g  makespan %.3f us\n",
+			res.CostModel, res.EstimatedSuccess, res.Makespan)
+	}
 	if model != nil {
 		p, err := noise.SuccessProbability(res.Physical, *model)
 		if err != nil {

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"trios/internal/benchmarks"
 	"trios/internal/compiler"
+	"trios/internal/device"
 	"trios/internal/qasm"
 	"trios/internal/topo"
 )
@@ -99,6 +103,10 @@ func TestErrors(t *testing.T) {
 		{"-topology", "moebius", "-benchmark", "bv-20"},
 		{"-pipeline", "warp", "-benchmark", "bv-20"},
 		{"-in", "a.qasm", "-benchmark", "bv-20"},
+		{"-benchmark", "bv-20", "-calibration", "no-such-calibration"},
+		{"-benchmark", "bv-20", "-cost", "uniform"},                                       // cost without calibration
+		{"-benchmark", "bv-20", "-calibration", "johannesburg-0819", "-cost", "??"},       // bad cost
+		{"-benchmark", "bv-20", "-topology", "full", "-calibration", "johannesburg-0819"}, // uncalibrated device
 		{},
 	}
 	for i, args := range cases {
@@ -106,5 +114,57 @@ func TestErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("case %d (%v): expected an error", i, args)
 		}
+	}
+}
+
+// TestCalibrationStats: -calibration adds the fidelity block to stats and
+// leaves QASM output byte-identical under -cost uniform.
+func TestCalibrationStats(t *testing.T) {
+	out := runCLI(t, "-benchmark", "cnx_inplace-4", "-pipeline", "trios", "-stats",
+		"-calibration", "johannesburg-0819")
+	if !strings.Contains(out, "calibrated (noise:johannesburg-0819)") ||
+		!strings.Contains(out, "estimated success") || !strings.Contains(out, "makespan") {
+		t.Fatalf("calibrated stats missing fidelity block: %q", out)
+	}
+
+	plain := runCLI(t, "-benchmark", "cnx_inplace-4", "-pipeline", "trios", "-seed", "3")
+	uniform := runCLI(t, "-benchmark", "cnx_inplace-4", "-pipeline", "trios", "-seed", "3",
+		"-calibration", "johannesburg-0819", "-cost", "uniform")
+	if plain != uniform {
+		t.Fatal("-cost uniform changed the emitted QASM")
+	}
+}
+
+// TestCalibrationFromFile: -calibration accepts a JSON file, exercising the
+// load/validate path end to end.
+func TestCalibrationFromFile(t *testing.T) {
+	cal, err := device.ByName("johannesburg-0819")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile := runCLI(t, "-benchmark", "cnx_inplace-4", "-pipeline", "trios", "-stats",
+		"-calibration", path)
+	fromName := runCLI(t, "-benchmark", "cnx_inplace-4", "-pipeline", "trios", "-stats",
+		"-calibration", "johannesburg-0819")
+	if fromFile != fromName {
+		t.Fatalf("file-loaded calibration compiled differently:\n%q\n%q", fromFile, fromName)
+	}
+
+	// A corrupt file is rejected.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"qubits":-1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-benchmark", "bv-20", "-calibration", bad}, &out); err == nil {
+		t.Fatal("corrupt calibration file accepted")
 	}
 }

@@ -2,16 +2,19 @@
 // compiles OpenQASM 2.0 (or a named benchmark) for a target device with the
 // same pipelines, options, and bit-identical output as the trios CLI, backed
 // by a content-addressed compile cache, singleflight request coalescing, and
-// bounded-queue admission control (429 on overload). GET /v1/devices lists
-// topologies, /healthz reports liveness and build identity, /metrics exports
-// Prometheus counters. SIGINT/SIGTERM drains gracefully: in-flight compiles
-// finish (up to -grace), new work is refused with 503.
+// bounded-queue admission control (429 on overload). Requests may name a
+// device calibration (see GET /v1/calibrations) for noise-aware,
+// fidelity-annotated compiles. GET /v1/devices lists topologies, /healthz
+// reports liveness and build identity, /metrics exports Prometheus counters.
+// SIGINT/SIGTERM drains gracefully: in-flight compiles finish (up to
+// -grace), new work is refused with 503.
 //
 // Usage:
 //
 //	triosd -addr :8421 -workers 4 -queue 64 -cache 512
 //	curl -s localhost:8421/healthz
-//	curl -s -X POST localhost:8421/v1/compile -d '{"benchmark":"grovers-9","pipeline":"trios"}'
+//	curl -s localhost:8421/v1/calibrations
+//	curl -s -X POST localhost:8421/v1/compile -d '{"benchmark":"grovers-9","pipeline":"trios","calibration":"johannesburg-0819"}'
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -31,26 +35,50 @@ import (
 	"trios/internal/version"
 )
 
+// errFlagParse marks a flag error the FlagSet already reported to stderr;
+// main must not print it a second time.
+var errFlagParse = errors.New("invalid arguments")
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8421", "listen address")
-		workers     = flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
-		queue       = flag.Int("queue", 64, "admission queue depth; overflow is shed with 429")
-		cacheSize   = flag.Int("cache", 512, "compile cache capacity in artifacts")
-		grace       = flag.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
-		showVersion = flag.Bool("version", false, "print build version and exit")
-	)
-	flag.Parse()
-	if *showVersion {
-		fmt.Println(version.Get())
-		return
-	}
-	if err := run(*addr, *workers, *queue, *cacheSize, *grace); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2) // usage error, already reported; 2 matches flag.ExitOnError
+		}
 		log.Fatalf("triosd: %v", err)
 	}
 }
 
-func run(addr string, workers, queue, cacheSize int, grace time.Duration) error {
+// run is the testable daemon entry point: flags come from args, -version
+// output goes to out, and the daemon serves until ctx is cancelled, then
+// drains gracefully. ready, when non-nil, is called with the bound listener
+// address once the daemon is accepting connections — tests bind :0 and use
+// it to find the port.
+func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("triosd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8421", "listen address")
+		workers     = fs.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 64, "admission queue depth; overflow is shed with 429")
+		cacheSize   = fs.Int("cache", 512, "compile cache capacity in artifacts")
+		grace       = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
+		showVersion = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help printed usage; that is success
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *showVersion {
+		fmt.Fprintln(out, version.Get())
+		return nil
+	}
+	return serve(ctx, *addr, *workers, *queue, *cacheSize, *grace, ready)
+}
+
+func serve(ctx context.Context, addr string, workers, queue, cacheSize int, grace time.Duration, ready func(net.Addr)) error {
 	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize})
 	srv := &http.Server{
 		Handler: svc.Handler(),
@@ -71,9 +99,9 @@ func run(addr string, workers, queue, cacheSize int, grace time.Duration) error 
 	}
 	log.Printf("triosd listening on %s (%s, workers=%d queue=%d cache=%d)",
 		ln.Addr(), version.Get(), workers, queue, cacheSize)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if ready != nil {
+		ready(ln.Addr())
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunRejectsBadFlags: unknown flags are usage errors, marked so main
+// exits 2 without printing them twice.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-no-such-flag"}, &out, nil)
+	if !errors.Is(err, errFlagParse) {
+		t.Fatalf("err = %v, want errFlagParse", err)
+	}
+	if err := run(context.Background(), []string{"-h"}, &out, nil); err != nil {
+		t.Fatalf("-h should be success, got %v", err)
+	}
+}
+
+// TestRunVersion prints the build identity and exits cleanly.
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("-version printed nothing")
+	}
+}
+
+// TestRunBadAddr: an unbindable address must surface as an error, not hang.
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, io.Discard, nil)
+	if err == nil || errors.Is(err, errFlagParse) {
+		t.Fatalf("err = %v, want a listen error", err)
+	}
+}
+
+// TestDaemonSmoke boots the daemon on an ephemeral port, round-trips
+// /healthz, /v1/devices, /v1/calibrations, and one compile, then cancels the
+// context and expects a clean graceful drain.
+func TestDaemonSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-grace", "5s"}, io.Discard,
+			func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	resp, body := get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d: %s", resp.StatusCode, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("/healthz status field %q", health.Status)
+	}
+
+	if resp, body = get("/v1/devices"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "johannesburg") {
+		t.Fatalf("/v1/devices status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = get("/v1/calibrations"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "johannesburg-0819") {
+		t.Fatalf("/v1/calibrations status %d: %s", resp.StatusCode, body)
+	}
+
+	compileBody := strings.NewReader(`{"benchmark":"cnx_inplace-4","pipeline":"trios","calibration":"johannesburg-0819"}`)
+	cresp, err := http.Post(base+"/v1/compile", "application/json", compileBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbody, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/compile status %d: %s", cresp.StatusCode, cbody)
+	}
+	var art struct {
+		QASM             string  `json:"qasm"`
+		Calibration      string  `json:"calibration"`
+		EstimatedSuccess float64 `json:"estimated_success"`
+	}
+	if err := json.Unmarshal(cbody, &art); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(art.QASM, "OPENQASM 2.0;") || art.Calibration != "johannesburg-0819" || art.EstimatedSuccess <= 0 {
+		t.Fatalf("compile response looks wrong: %s", cbody)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+
+	// The listener is gone after drain.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after drain")
+	}
+}

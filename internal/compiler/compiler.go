@@ -19,6 +19,7 @@ import (
 
 	"trios/internal/circuit"
 	"trios/internal/decompose"
+	"trios/internal/device"
 	"trios/internal/layout"
 	"trios/internal/route"
 	"trios/internal/topo"
@@ -112,10 +113,40 @@ type Options struct {
 	// merging (§2.4), applied to the input and again to the compiled
 	// circuit where routing may have created adjacent inverse pairs.
 	Optimize bool
-	// NoiseWeight, when non-nil, makes routing noise-aware: the routing
-	// graph's edges are weighted by weight(a, b) (intended: -log CNOT
-	// success rate) and paths minimize total weight.
+	// Calibration, when non-nil, is the device characterization driving the
+	// compile: unless CostModel overrides it, layout and routing weigh edges
+	// by the calibration's -log CNOT success rates, and the pipeline ends
+	// with a fidelity pass filling Result.EstimatedSuccess and
+	// Result.Makespan from the same data.
+	Calibration *device.Calibration
+	// CostModel overrides the cost policy derived from Calibration:
+	// device.Uniform{} compiles exactly like a calibration-less run (byte-
+	// identical output) while still reporting calibrated fidelity stats —
+	// the control arm of every noise-aware comparison.
+	CostModel device.CostModel
+	// NoiseWeight is the legacy function-valued noise hook, kept for ad-hoc
+	// weight landscapes: when non-nil, routing and placement weigh edges by
+	// weight(a, b). Such options have no CacheKey; prefer Calibration.
+	// Setting it together with CostModel is an error.
 	NoiseWeight func(a, b int) float64
+}
+
+// costModel resolves the effective cost model: an explicit CostModel wins,
+// then the legacy NoiseWeight shim, then the calibration's shared noise
+// model, then Uniform (hop counts — the legacy noise-blind behavior).
+func (o Options) costModel() (device.CostModel, error) {
+	switch {
+	case o.CostModel != nil && o.NoiseWeight != nil:
+		return nil, fmt.Errorf("compiler: set either CostModel or NoiseWeight, not both")
+	case o.CostModel != nil:
+		return o.CostModel, nil
+	case o.NoiseWeight != nil:
+		return device.NewWeightFunc(o.NoiseWeight), nil
+	case o.Calibration != nil:
+		return device.NoiseFor(o.Calibration), nil
+	default:
+		return device.Uniform{}, nil
+	}
 }
 
 // Result carries the compiled program and the bookkeeping needed to verify
@@ -141,6 +172,15 @@ type Result struct {
 	// ScheduledDuration is non-zero when the pipeline included a Schedule
 	// pass: the ASAP duration of the compiled circuit.
 	ScheduledDuration float64
+	// CostModel names the cost model that drove layout and routing
+	// ("uniform", "noise:<calibration>", "custom").
+	CostModel string
+	// EstimatedSuccess and Makespan are the fidelity block, filled when
+	// Options.Calibration is set: the closed-form per-edge/per-qubit success
+	// probability of one execution and the ASAP makespan (us) of the
+	// compiled circuit under the calibration's gate times.
+	EstimatedSuccess float64
+	Makespan         float64
 }
 
 // TwoQubitGates returns the compiled two-qubit gate count, the paper's
@@ -162,7 +202,7 @@ func CompileContext(ctx context.Context, input *circuit.Circuit, g *topo.Graph, 
 	return compileFrom(ctx, input, nil, nil, g, opts)
 }
 
-func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options) (*layout.Layout, error) {
+func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options, cm device.CostModel) (*layout.Layout, error) {
 	if opts.InitialLayout != nil {
 		v2p := make([]int, g.NumQubits())
 		used := make([]bool, g.NumQubits())
@@ -188,9 +228,11 @@ func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options) (*layout.Lay
 	}
 	switch opts.Placement {
 	case PlaceGreedy:
-		// With noise weights, placement is noise-aware too (§4's pairing of
-		// noise-aware mapping and routing).
-		return layout.GreedyWeighted(c, g, opts.NoiseWeight)
+		// Under a noise cost model, placement is noise-aware too (§4's
+		// pairing of noise-aware mapping and routing): distances come from
+		// the model's memoized weighted-path oracle. Uniform's nil oracle
+		// selects the hop-count tables — the legacy path, bit for bit.
+		return layout.GreedyWeighted(c, g, cm.Oracle(g))
 	case PlaceRandom:
 		return layout.Random(g.NumQubits(), rand.New(rand.NewSource(opts.Seed))), nil
 	default:
@@ -200,23 +242,25 @@ func initialLayout(c *circuit.Circuit, g *topo.Graph, opts Options) (*layout.Lay
 
 // pickRouter builds the routing pass for the selected strategy; trioAware
 // is set by the Trios pipeline, whose router must accept intact CCX gates.
-func pickRouter(opts Options, trioAware bool) (route.Router, error) {
+// Every router receives the cost model's edge weights and its memoized
+// weighted-path tables; under Uniform both are nil and every router runs its
+// legacy hop-count code path unchanged.
+func pickRouter(opts Options, trioAware bool, cm device.CostModel, g *topo.Graph) (route.Router, error) {
+	weight := cm.Weight()
+	var oracle *topo.WeightedOracle
+	if weight != nil {
+		oracle = cm.Oracle(g)
+	}
 	switch opts.Router {
 	case RouteDirect:
 		if trioAware {
-			return &route.Trios{Seed: opts.Seed, Weight: opts.NoiseWeight}, nil
+			return &route.Trios{Seed: opts.Seed, Weight: weight, Oracle: oracle}, nil
 		}
-		return &route.Baseline{Seed: opts.Seed, Weight: opts.NoiseWeight}, nil
+		return &route.Baseline{Seed: opts.Seed, Weight: weight, Oracle: oracle}, nil
 	case RouteStochastic:
-		if opts.NoiseWeight != nil {
-			return nil, fmt.Errorf("compiler: noise-aware routing requires RouteDirect")
-		}
-		return &route.Stochastic{Seed: opts.Seed, TrioAware: trioAware}, nil
+		return &route.Stochastic{Seed: opts.Seed, TrioAware: trioAware, Weight: weight, Oracle: oracle}, nil
 	case RouteLookahead:
-		if opts.NoiseWeight != nil {
-			return nil, fmt.Errorf("compiler: noise-aware routing requires RouteDirect")
-		}
-		return &route.Lookahead{Seed: opts.Seed, TrioAware: trioAware}, nil
+		return &route.Lookahead{Seed: opts.Seed, TrioAware: trioAware, Weight: weight, Oracle: oracle}, nil
 	}
 	return nil, fmt.Errorf("compiler: unknown router kind %d", int(opts.Router))
 }

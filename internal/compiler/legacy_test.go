@@ -65,11 +65,15 @@ func legacyCompileConventional(input *circuit.Circuit, g *topo.Graph, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	init, err := initialLayout(decomposed, g, opts)
+	cm, err := opts.costModel()
 	if err != nil {
 		return nil, err
 	}
-	router, err := pickRouter(opts, false)
+	init, err := initialLayout(decomposed, g, opts, cm)
+	if err != nil {
+		return nil, err
+	}
+	router, err := pickRouter(opts, false, cm, g)
 	if err != nil {
 		return nil, err
 	}
@@ -96,11 +100,15 @@ func legacyCompileTrios(input *circuit.Circuit, g *topo.Graph, opts Options) (*R
 	if err != nil {
 		return nil, err
 	}
-	init, err := initialLayout(kept, g, opts)
+	cm, err := opts.costModel()
 	if err != nil {
 		return nil, err
 	}
-	router, err := pickRouter(opts, true)
+	init, err := initialLayout(kept, g, opts, cm)
+	if err != nil {
+		return nil, err
+	}
+	router, err := pickRouter(opts, true, cm, g)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +170,11 @@ func legacyCompileGroups(input *circuit.Circuit, g *topo.Graph, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	init, err := initialLayout(kept, g, opts)
+	cm, err := opts.costModel()
+	if err != nil {
+		return nil, err
+	}
+	init, err := initialLayout(kept, g, opts, cm)
 	if err != nil {
 		return nil, err
 	}

@@ -142,18 +142,105 @@ func TestNoiseAwareTrioAvoidsHotCoupler(t *testing.T) {
 	}
 }
 
-// TestStochasticRouterRejectsNoiseWeight documents that the era-faithful
-// stochastic baseline has no noise-aware mode (matching Qiskit 0.14).
-func TestStochasticRouterRejectsNoiseWeight(t *testing.T) {
-	g := topo.Grid(2, 3)
+// TestStochasticAndLookaheadAcceptNoiseWeights: since the unified cost
+// layer, every router scores against the weighted-path tables — the
+// stochastic and lookahead strategies included. The compiled circuits must
+// stay legal and verified under weights.
+func TestStochasticAndLookaheadAcceptNoiseWeights(t *testing.T) {
+	g := topo.Grid(3, 3)
+	em := noise.SyntheticCalibration(g, 0.01, 0.6, 2, 9)
+	src := circuit.New(4)
+	src.CX(0, 3).CCX(0, 1, 2).CX(2, 3).CX(0, 2)
+	for _, router := range []RouterKind{RouteStochastic, RouteLookahead} {
+		res, err := Compile(src, g, Options{
+			Pipeline:    TriosPipeline,
+			Router:      router,
+			Placement:   PlaceGreedy,
+			NoiseWeight: em.RouteWeight(),
+			Seed:        3,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", router, err)
+		}
+		verifyCompiled(t, res)
+	}
+}
+
+// TestLookaheadNoiseAwareAvoidsHotEdge: the lookahead swap scoring must
+// steer a blocked pair around a degraded coupler when the weighted tables
+// say the detour is cheaper.
+func TestLookaheadNoiseAwareAvoidsHotEdge(t *testing.T) {
+	// Ring of 7 as in the direct-router test: the short way from 0 to 3
+	// crosses the hot (1,2) coupling, the long way is clean.
+	g := topo.Ring(7)
+	em := noise.UniformEdgeMap(g, 0.005)
+	em.SetError(1, 2, 0.35)
 	src := circuit.New(2)
 	src.CX(0, 1)
-	_, err := Compile(src, g, Options{
-		Pipeline:    Conventional,
-		Router:      RouteStochastic,
-		NoiseWeight: func(a, b int) float64 { return 1 },
+	init := []int{0, 3}
+	aware, err := Compile(src, g, Options{
+		Pipeline: Conventional, Router: RouteLookahead,
+		InitialLayout: init, Seed: 2,
+		NoiseWeight: em.RouteWeight(),
 	})
-	if err == nil {
-		t.Error("expected error combining stochastic router with noise weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gate := range aware.Physical.Gates {
+		if gate.Name != circuit.CX {
+			continue
+		}
+		e, err := em.Error(gate.Qubits[0], gate.Qubits[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 0.3 {
+			t.Errorf("noise-aware lookahead used hot edge (%d,%d)", gate.Qubits[0], gate.Qubits[1])
+		}
+	}
+}
+
+// TestStochasticNoiseAwareImprovesSuccess: across seeds, weighted delta
+// scoring should on average compile to no worse per-edge success than the
+// noise-blind stochastic walk on a landscape with one very hot coupler.
+func TestStochasticNoiseAwareImprovesSuccess(t *testing.T) {
+	g := topo.Ring(7)
+	em := noise.UniformEdgeMap(g, 0.005)
+	em.SetError(1, 2, 0.35)
+	src := circuit.New(2)
+	src.CX(0, 1)
+	init := []int{0, 3}
+	model := noise.Johannesburg0819()
+	model.ReadoutError = 0
+	sumBlind, sumAware := 0.0, 0.0
+	for seed := int64(0); seed < 8; seed++ {
+		blind, err := Compile(src, g, Options{
+			Pipeline: Conventional, Router: RouteStochastic,
+			InitialLayout: init, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err := Compile(src, g, Options{
+			Pipeline: Conventional, Router: RouteStochastic,
+			InitialLayout: init, Seed: seed,
+			NoiseWeight: em.RouteWeight(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := noise.SuccessProbabilityEdges(blind.Physical, model, em)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := noise.SuccessProbabilityEdges(aware.Physical, model, em)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumBlind += pb
+		sumAware += pa
+	}
+	if sumAware < sumBlind {
+		t.Errorf("noise-aware stochastic mean success %v < blind %v", sumAware/8, sumBlind/8)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"trios/internal/decompose"
+	"trios/internal/device"
 )
 
 // The Parse* helpers are the single string→enum mapping shared by every
@@ -57,6 +58,42 @@ func ParsePlacement(s string) (Placement, error) {
 	return 0, fmt.Errorf("compiler: unknown placement %q (want greedy, identity, or random)", s)
 }
 
+// ParseCost resolves the cost-model vocabulary shared by the trios -cost
+// flag and the triosd wire protocol: "" and "noise" select the calibration's
+// noise model (returned as nil — Options derives it from Calibration),
+// "uniform" the noise-blind control arm.
+func ParseCost(s string) (device.CostModel, error) {
+	switch s {
+	case "", "noise":
+		return nil, nil
+	case "uniform":
+		return device.Uniform{}, nil
+	}
+	return nil, fmt.Errorf("compiler: unknown cost model %q (want noise or uniform)", s)
+}
+
+// ResolveCalibration maps the shared calibration/cost request vocabulary to
+// compiler options: name resolves against the device registry, cost through
+// ParseCost. An empty name means no calibration, in which case a cost
+// selection is rejected (there is nothing for it to act on).
+func ResolveCalibration(name, cost string) (*device.Calibration, device.CostModel, error) {
+	if name == "" {
+		if cost != "" {
+			return nil, nil, fmt.Errorf("compiler: cost model %q requires a calibration", cost)
+		}
+		return nil, nil, nil
+	}
+	cal, err := device.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := ParseCost(cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cal, cm, nil
+}
+
 // ParseToffoli resolves a Toffoli decomposition mode: auto, 6, or 8.
 func ParseToffoli(s string) (decompose.ToffoliMode, error) {
 	switch s {
@@ -88,11 +125,26 @@ func (p Placement) String() string {
 // configurations that never consume it — because a key that is too fine
 // only costs hit rate, while one too coarse serves wrong answers.
 //
+// The cost segment carries the resolved cost model's canonical identity (the
+// calibration's content digest for Noise), and the cal segment the digest of
+// the calibration feeding the fidelity stats — so artifacts compiled or
+// evaluated under different calibrations can never alias, while a Uniform
+// compile with and without a calibration (identical QASM, different stats
+// block) also key apart.
+//
 // Options carrying a NoiseWeight function have no canonical serialization
 // and return an error: callers must compile those uncached.
 func (o Options) CacheKey() (string, error) {
 	if o.NoiseWeight != nil {
 		return "", fmt.Errorf("compiler: options with a NoiseWeight function have no cache key")
+	}
+	cm, err := o.costModel()
+	if err != nil {
+		return "", err
+	}
+	costKey, err := cm.CacheKey()
+	if err != nil {
+		return "", fmt.Errorf("compiler: options have no cache key: %w", err)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "pipeline=%s;router=%s;toffoli=%s;placement=%s;seed=%d;optimize=%t;layout=",
@@ -106,6 +158,12 @@ func (o Options) CacheKey() (string, error) {
 			}
 			fmt.Fprintf(&b, "%d", p)
 		}
+	}
+	fmt.Fprintf(&b, ";cost=%s;cal=", costKey)
+	if o.Calibration == nil {
+		b.WriteString("none")
+	} else {
+		b.WriteString(o.Calibration.Digest())
 	}
 	return b.String(), nil
 }

@@ -13,7 +13,9 @@ import (
 
 	"trios/internal/circuit"
 	"trios/internal/decompose"
+	"trios/internal/device"
 	"trios/internal/layout"
+	"trios/internal/noise"
 	"trios/internal/optimize"
 	"trios/internal/route"
 	"trios/internal/sched"
@@ -35,6 +37,10 @@ type PassContext struct {
 	Graph *topo.Graph
 	// Opts is the configuration the pipeline was built from.
 	Opts Options
+	// Cost is the resolved cost model (see Options.costModel), fixed once
+	// per compilation so the layout, routing, and fixup passes all score
+	// against the same memoized tables.
+	Cost device.CostModel
 	// Circuit is the working circuit; passes replace it as they transform
 	// the program. Passes must treat the incoming circuit as immutable (it
 	// may be shared with concurrent compilations via the batch front cache).
@@ -50,6 +56,10 @@ type PassContext struct {
 	// ScheduledDuration is filled by the optional Schedule pass: the ASAP
 	// duration of the compiled circuit under a gate-time model.
 	ScheduledDuration float64
+	// EstimatedSuccess and Makespan are filled by the fidelity pass when the
+	// compilation carries a calibration.
+	EstimatedSuccess float64
+	Makespan         float64
 }
 
 // PassMetric records what one pass did: wall-clock cost and the circuit's
@@ -90,6 +100,31 @@ func (p passFunc) Run(ctx *PassContext, c *circuit.Circuit) error { return p.fn(
 // NewPass wraps a function as a named Pass.
 func NewPass(name string, fn func(ctx *PassContext, c *circuit.Circuit) error) Pass {
 	return passFunc{name: name, fn: fn}
+}
+
+// costModel returns ctx.Cost, resolving it from the options on first use so
+// pipelines driven outside compileFrom (tests, custom pass lists) need no
+// setup. Resolution is sticky: every pass of one compilation scores against
+// the same model instance and its memoized tables.
+func (ctx *PassContext) costModel() (device.CostModel, error) {
+	if ctx.Cost == nil {
+		cm, err := ctx.Opts.costModel()
+		if err != nil {
+			return nil, err
+		}
+		ctx.Cost = cm
+	}
+	return ctx.Cost, nil
+}
+
+// routerWeights unpacks a cost model into the weight function and memoized
+// oracle a router's fields take (both nil under Uniform).
+func routerWeights(cm device.CostModel, g *topo.Graph) (func(a, b int) float64, *topo.WeightedOracle) {
+	w := cm.Weight()
+	if w == nil {
+		return nil, nil
+	}
+	return w, cm.Oracle(g)
 }
 
 // PassManager runs an ordered list of passes over a PassContext, timing each
@@ -220,7 +255,11 @@ func LowerPass() Pass {
 // circuit's interaction structure, and seeds Final with a copy of it.
 func PlacePass() Pass {
 	return NewPass("layout:place", func(ctx *PassContext, c *circuit.Circuit) error {
-		init, err := initialLayout(c, ctx.Graph, ctx.Opts)
+		cm, err := ctx.costModel()
+		if err != nil {
+			return err
+		}
+		init, err := initialLayout(c, ctx.Graph, ctx.Opts, cm)
 		if err != nil {
 			return err
 		}
@@ -236,7 +275,11 @@ func PlacePass() Pass {
 // PlacePass; trioAware selects the Trios-capable router variants.
 func RoutePass(trioAware bool) Pass {
 	return NewPass("route:main", func(ctx *PassContext, c *circuit.Circuit) error {
-		router, err := pickRouter(ctx.Opts, trioAware)
+		cm, err := ctx.costModel()
+		if err != nil {
+			return err
+		}
+		router, err := pickRouter(ctx.Opts, trioAware, cm, ctx.Graph)
 		if err != nil {
 			return err
 		}
@@ -270,9 +313,13 @@ func GroupsRoutePass() Pass {
 // qubits: it routes the current circuit over physical positions (identity
 // layout), then composes the resulting movement into ctx.Final. The router
 // is seeded with Seed+1 to decorrelate it from the main routing pass.
-func FixupRoutePass(r func(opts Options) route.Router) Pass {
+func FixupRoutePass(r func(ctx *PassContext) (route.Router, error)) Pass {
 	return NewPass("route:fixup", func(ctx *PassContext, c *circuit.Circuit) error {
-		fixed, err := r(ctx.Opts).Route(c, ctx.Graph, layout.Identity(ctx.Graph.NumQubits()))
+		router, err := r(ctx)
+		if err != nil {
+			return err
+		}
+		fixed, err := router.Route(c, ctx.Graph, layout.Identity(ctx.Graph.NumQubits()))
 		if err != nil {
 			return err
 		}
@@ -294,15 +341,23 @@ func FixupRoutePass(r func(opts Options) route.Router) Pass {
 }
 
 // baselineFixupRouter is the Trios pipeline's fixup: a pairwise router that
-// patches the non-adjacent CNOTs a forced 6-CNOT decomposition leaves.
-func baselineFixupRouter(opts Options) route.Router {
-	return &route.Baseline{Seed: opts.Seed + 1, Weight: opts.NoiseWeight}
+// patches the non-adjacent CNOTs a forced 6-CNOT decomposition leaves. It
+// scores against the same cost model as the main routing pass.
+func baselineFixupRouter(ctx *PassContext) (route.Router, error) {
+	cm, err := ctx.costModel()
+	if err != nil {
+		return nil, err
+	}
+	w, oracle := routerWeights(cm, ctx.Graph)
+	return &route.Baseline{Seed: ctx.Opts.Seed + 1, Weight: w, Oracle: oracle}, nil
 }
 
 // triosFixupRouter is the Groups pipeline's fixup: a trio-aware router that
-// patches the stray pairs and Toffolis of an in-place MCX expansion.
-func triosFixupRouter(opts Options) route.Router {
-	return &route.Trios{Seed: opts.Seed + 1}
+// patches the stray pairs and Toffolis of an in-place MCX expansion. Like
+// the Groups main router it is noise-blind (the experimental pipeline has no
+// weighted mode), so its output never depends on the cost model.
+func triosFixupRouter(ctx *PassContext) (route.Router, error) {
+	return &route.Trios{Seed: ctx.Opts.Seed + 1}, nil
 }
 
 // ---- Optimize passes ----
@@ -343,6 +398,24 @@ func SchedulePass(times sched.GateTimes) Pass {
 			return err
 		}
 		ctx.ScheduledDuration = d
+		return nil
+	})
+}
+
+// FidelityPass closes a calibrated pipeline: it schedules the compiled
+// circuit under the calibration's gate times and evaluates the closed-form
+// per-edge/per-qubit success estimate (per-qubit decoherence, the paper's
+// "idle errors" accounting), recording both in the context. It reads the
+// same Calibration the cost model routes by, so the estimate and the routing
+// decisions can never disagree about what the hardware costs. The circuit is
+// not modified.
+func FidelityPass(cal *device.Calibration) Pass {
+	return NewPass("stats:fidelity", func(ctx *PassContext, c *circuit.Circuit) error {
+		p, d, err := noise.SuccessWithCalibration(c, cal, noise.CoherencePerQubit)
+		if err != nil {
+			return err
+		}
+		ctx.EstimatedSuccess, ctx.Makespan = p, d
 		return nil
 	})
 }
@@ -422,6 +495,9 @@ func BackPasses(opts Options) ([]Pass, error) {
 	if opts.Optimize {
 		ps = append(ps, OptimizeOutputPass())
 	}
+	if opts.Calibration != nil {
+		ps = append(ps, FidelityPass(opts.Calibration))
+	}
 	ps = append(ps, StatsPass())
 	return ps, nil
 }
@@ -474,11 +550,29 @@ func compileFrom(stdctx context.Context, input, prepared *circuit.Circuit, front
 	if err := checkFits(input, g); err != nil {
 		return nil, err
 	}
+	// Resolve the cost model once and verify up front that whatever
+	// calibration is in play actually characterizes this device: a noise
+	// model missing couplings would otherwise surface as unreachable-path
+	// routing failures deep inside a pass.
+	cm, err := opts.costModel()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Calibration != nil {
+		if err := opts.Calibration.CheckGraph(g); err != nil {
+			return nil, err
+		}
+	}
+	if nm, ok := cm.(*device.Noise); ok && nm.Calibration() != opts.Calibration {
+		if err := nm.Calibration().CheckGraph(g); err != nil {
+			return nil, err
+		}
+	}
 	// Build the device's distance oracle up front (idempotent): the layout
 	// and routing passes then run on pure table lookups, and the one-time
 	// build cost is not misattributed to whichever pass queried first.
 	g.EnsureOracle()
-	ctx := &PassContext{Ctx: stdctx, Graph: g, Opts: opts}
+	ctx := &PassContext{Ctx: stdctx, Graph: g, Opts: opts, Cost: cm}
 	if prepared != nil {
 		ctx.Circuit = prepared
 		ctx.Metrics = append(ctx.Metrics, frontMetrics...)
@@ -506,5 +600,8 @@ func compileFrom(stdctx context.Context, input, prepared *circuit.Circuit, front
 		Graph:             g,
 		Passes:            ctx.Metrics,
 		ScheduledDuration: ctx.ScheduledDuration,
+		CostModel:         cm.Name(),
+		EstimatedSuccess:  ctx.EstimatedSuccess,
+		Makespan:          ctx.Makespan,
 	}, nil
 }

@@ -1,0 +1,62 @@
+package device
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the calibration loader. Invariants:
+// Parse never panics; anything it accepts validates, digests, and survives a
+// canonical-JSON round trip to an equal calibration with an equal digest —
+// the stability the serving layer's content addressing depends on.
+func FuzzParse(f *testing.F) {
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(c)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","qubits":1,"t1_us":[1],"t2_us":[1],` +
+		`"one_qubit_error":[0],"readout_error":[0],"two_qubit_error":[],` +
+		`"gate_times_us":{"one_qubit":0.1,"two_qubit":0.5,"measure":3}}`))
+	f.Add([]byte(`{"qubits":2,"t1_us":[null,1e999]}`))
+	f.Add([]byte(`{"two_qubit_error":[{"a":0,"b":0,"error":-1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid calibration: %v", err)
+		}
+		canon, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted calibration does not marshal: %v", err)
+		}
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Fatal("round trip changed the calibration")
+		}
+		if c.Digest() != back.Digest() {
+			t.Fatal("digest unstable across round trip")
+		}
+		canon2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatal("canonical JSON is not a fixpoint")
+		}
+	})
+}

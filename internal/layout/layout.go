@@ -146,19 +146,30 @@ func Greedy(c *circuit.Circuit, g *topo.Graph) (*Layout, error) {
 	return GreedyWeighted(c, g, nil)
 }
 
-// GreedyWeighted is Greedy with noise-aware distances: when edgeWeight is
-// non-nil, "distance" between physical qubits is the minimum total edge
-// weight (intended: -log CNOT success) instead of hop count, so heavily
-// interacting logical pairs land on reliable couplers — the noise-aware
-// mapper the paper pairs with noise-aware routing (§4, citing Murali et al.
-// and Tannu & Qureshi).
-func GreedyWeighted(c *circuit.Circuit, g *topo.Graph, edgeWeight func(a, b int) float64) (*Layout, error) {
+// GreedyWeighted is Greedy with noise-aware distances: when w is non-nil,
+// "distance" between physical qubits is the minimum total edge weight
+// (intended: -log CNOT success) read from the weighted-path oracle instead
+// of hop count, so heavily interacting logical pairs land on reliable
+// couplers — the noise-aware mapper the paper pairs with noise-aware routing
+// (§4, citing Murali et al. and Tannu & Qureshi). Both distance sources are
+// shared precomputed tables: the hop matrix lives on the Graph's distance
+// oracle, and w is built once per (graph, calibration) by the cost model, so
+// placement no longer pays a private all-pairs Dijkstra per call.
+func GreedyWeighted(c *circuit.Circuit, g *topo.Graph, w *topo.WeightedOracle) (*Layout, error) {
 	n := g.NumQubits()
 	if c.NumQubits > n {
 		return nil, fmt.Errorf("layout: circuit has %d qubits, device %d", c.NumQubits, n)
 	}
 	weights := InteractionWeights(c)
-	dist := distanceMatrix(g, edgeWeight)
+	dist := func(p, q int) float64 {
+		if w != nil {
+			return w.Dist(p, q)
+		}
+		if d := g.Dist(p, q); d >= 0 {
+			return float64(d)
+		}
+		return math.Inf(1)
+	}
 
 	// Total interaction weight per logical qubit.
 	total := make([]int, c.NumQubits)
@@ -181,7 +192,7 @@ func GreedyWeighted(c *circuit.Circuit, g *topo.Graph, edgeWeight func(a, b int)
 		}
 	}
 	seedP := 0
-	if edgeWeight == nil {
+	if w == nil {
 		for p := 1; p < n; p++ {
 			if g.Degree(p) > g.Degree(seedP) {
 				seedP = p
@@ -195,7 +206,7 @@ func GreedyWeighted(c *circuit.Circuit, g *topo.Graph, edgeWeight func(a, b int)
 		for p := 0; p < n; p++ {
 			sum := 0.0
 			for q := 0; q < n; q++ {
-				sum += dist[p][q]
+				sum += dist(p, q)
 			}
 			if sum < bestSum {
 				seedP, bestSum = p, sum
@@ -244,15 +255,15 @@ func GreedyWeighted(c *circuit.Circuit, g *topo.Graph, edgeWeight func(a, b int)
 				if v2p[u] == -1 {
 					continue
 				}
-				if w := pairWeight(bestV, u); w > 0 {
-					cost += float64(w) * dist[p][v2p[u]]
+				if pw := pairWeight(bestV, u); pw > 0 {
+					cost += float64(pw) * dist(p, v2p[u])
 					anyPartner = true
 				}
 			}
 			if !anyPartner {
 				for u := 0; u < c.NumQubits; u++ {
 					if v2p[u] != -1 {
-						cost += dist[p][v2p[u]]
+						cost += dist(p, v2p[u])
 					}
 				}
 			}
@@ -279,56 +290,4 @@ func GreedyWeighted(c *circuit.Circuit, g *topo.Graph, edgeWeight func(a, b int)
 		next++
 	}
 	return FromVirtualToPhys(v2p)
-}
-
-// distanceMatrix returns all-pairs distances: hop counts when edgeWeight is
-// nil, otherwise minimum total edge weight via Dijkstra.
-func distanceMatrix(g *topo.Graph, edgeWeight func(a, b int) float64) [][]float64 {
-	n := g.NumQubits()
-	dist := make([][]float64, n)
-	if edgeWeight == nil {
-		hops := g.AllPairsDistances()
-		for i := range dist {
-			dist[i] = make([]float64, n)
-			for j, d := range hops[i] {
-				if d < 0 {
-					dist[i][j] = math.Inf(1)
-				} else {
-					dist[i][j] = float64(d)
-				}
-			}
-		}
-		return dist
-	}
-	for src := 0; src < n; src++ {
-		row := make([]float64, n)
-		done := make([]bool, n)
-		for i := range row {
-			row[i] = math.Inf(1)
-		}
-		row[src] = 0
-		for {
-			u, best := -1, math.Inf(1)
-			for q := 0; q < n; q++ {
-				if !done[q] && row[q] < best {
-					u, best = q, row[q]
-				}
-			}
-			if u == -1 {
-				break
-			}
-			done[u] = true
-			for _, nb := range g.Neighbors(u) {
-				w := edgeWeight(u, nb)
-				if w < 0 {
-					w = 0
-				}
-				if nd := row[u] + w; nd < row[nb] {
-					row[nb] = nd
-				}
-			}
-		}
-		dist[src] = row
-	}
-	return dist
 }

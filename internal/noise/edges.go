@@ -17,8 +17,8 @@ import (
 // weighted by -log of the CNOT success rate so shortest weighted paths
 // maximize path success probability.
 type EdgeMap struct {
-	graph *topo.Graph
-	errs  map[[2]int]float64
+	name string
+	errs map[[2]int]float64
 }
 
 func edgeKey(a, b int) [2]int {
@@ -30,7 +30,7 @@ func edgeKey(a, b int) [2]int {
 
 // UniformEdgeMap assigns the same error to every coupling.
 func UniformEdgeMap(g *topo.Graph, err float64) *EdgeMap {
-	m := &EdgeMap{graph: g, errs: make(map[[2]int]float64, g.NumEdges())}
+	m := &EdgeMap{name: g.Name(), errs: make(map[[2]int]float64, g.NumEdges())}
 	for _, e := range g.Edges() {
 		m.errs[e] = err
 	}
@@ -43,7 +43,7 @@ func UniformEdgeMap(g *topo.Graph, err float64) *EdgeMap {
 // seed.
 func SyntheticCalibration(g *topo.Graph, mean, sigma float64, hotEdges int, seed int64) *EdgeMap {
 	rng := rand.New(rand.NewSource(seed))
-	m := &EdgeMap{graph: g, errs: make(map[[2]int]float64, g.NumEdges())}
+	m := &EdgeMap{name: g.Name(), errs: make(map[[2]int]float64, g.NumEdges())}
 	edges := g.Edges()
 	for _, e := range edges {
 		v := mean * math.Exp(sigma*rng.NormFloat64())
@@ -67,7 +67,7 @@ func SyntheticCalibration(g *topo.Graph, mean, sigma float64, hotEdges int, seed
 func (m *EdgeMap) Error(a, b int) (float64, error) {
 	v, ok := m.errs[edgeKey(a, b)]
 	if !ok {
-		return 0, fmt.Errorf("noise: (%d,%d) is not a coupling of %s", a, b, m.graph.Name())
+		return 0, fmt.Errorf("noise: (%d,%d) is not a coupling of %s", a, b, m.name)
 	}
 	return v, nil
 }

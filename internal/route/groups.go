@@ -22,7 +22,7 @@ type Groups struct {
 // Route implements Router. One- and two-qubit gates route like the
 // baseline; CCX and MCX route as groups.
 func (t *Groups) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
-	s, err := newState(g, initial, t.Seed, nil)
+	s, err := newState(g, initial, t.Seed, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"math"
 
 	"trios/internal/circuit"
 	"trios/internal/layout"
@@ -27,6 +28,14 @@ type Lookahead struct {
 	ExtendedWeight float64
 	// TrioAware enables CCX routing for the Trios pipeline.
 	TrioAware bool
+	// Weight, when non-nil, makes swap scoring noise-aware: gate costs are
+	// weighted-path distances (-log CNOT success) from the oracle tables
+	// instead of hop counts, so the chosen SWAPs steer the window through
+	// reliable couplers. A nil Weight keeps legacy scoring bit for bit.
+	Weight func(a, b int) float64
+	// Oracle, when non-nil, is the precomputed weighted-path table for
+	// Weight (a cost model's per-(graph, calibration) memo).
+	Oracle *topo.WeightedOracle
 }
 
 // Route implements Router.
@@ -49,7 +58,7 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 	if extWeight <= 0 {
 		extWeight = 0.5
 	}
-	s, err := newState(g, initial, lk.Seed, nil)
+	s, err := newState(g, initial, lk.Seed, lk.Weight, lk.Oracle)
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +71,10 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 	}
 	completed := 0
 	dist := g.AllPairsDistances()
+	var worc *topo.WeightedOracle
+	if lk.Weight != nil {
+		worc = s.weightedOracle()
+	}
 	edges := g.EdgeList()
 
 	// Ready frontier: undone gates whose predecessors have all executed,
@@ -98,13 +111,32 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 	}
 
 	// gateCost is the routing distance a pending gate still has to cover:
-	// hops-to-adjacent for pairs, meeting-point distance for trios.
-	gateCost := func(gate circuit.Gate) int {
+	// hops-to-adjacent for pairs, meeting-point distance for trios. In
+	// noise-aware mode the same shapes are scored on the weighted tables, so
+	// cost is the -log success of the movement (plus the landing coupler)
+	// instead of its hop count; the unweighted arithmetic is untouched.
+	gateCost := func(gate circuit.Gate) float64 {
 		switch len(gate.Qubits) {
 		case 2:
-			return dist[s.l.Phys(gate.Qubits[0])][s.l.Phys(gate.Qubits[1])] - 1
+			if worc != nil {
+				return worc.Dist(s.l.Phys(gate.Qubits[0]), s.l.Phys(gate.Qubits[1]))
+			}
+			return float64(dist[s.l.Phys(gate.Qubits[0])][s.l.Phys(gate.Qubits[1])] - 1)
 		case 3:
 			ps := [3]int{s.l.Phys(gate.Qubits[0]), s.l.Phys(gate.Qubits[1]), s.l.Phys(gate.Qubits[2])}
+			if worc != nil {
+				best := math.Inf(1)
+				for i := 0; i < 3; i++ {
+					sum := 0.0
+					for j := 0; j < 3; j++ {
+						sum += worc.Dist(ps[i], ps[j])
+					}
+					if sum < best {
+						best = sum
+					}
+				}
+				return best
+			}
 			best := int(^uint(0) >> 1)
 			for i := 0; i < 3; i++ {
 				sum := 0
@@ -115,7 +147,7 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 					best = sum
 				}
 			}
-			return best - 2
+			return float64(best - 2)
 		}
 		return 0
 	}
@@ -251,10 +283,10 @@ func (lk *Lookahead) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 			s.l.SwapPhys(e[0], e[1])
 			score := 0.0
 			for _, gate := range front {
-				score += float64(gateCost(gate))
+				score += gateCost(gate)
 			}
 			for _, gate := range extended {
-				score += extWeight * float64(gateCost(gate))
+				score += extWeight * gateCost(gate)
 			}
 			s.l.SwapPhys(e[0], e[1])
 			if score < bestScore {

@@ -41,8 +41,10 @@ type state struct {
 	// weight, when non-nil, selects noise-aware Dijkstra paths whose edge
 	// weight is -log(CNOT success), per the paper's noise-aware extension.
 	weight func(a, b int) float64
-	// worc caches the weighted-path oracle for weight, built on first use
-	// (one Dijkstra sweep per source, amortized over every query of the run).
+	// worc is the weighted-path oracle for weight: injected by the caller
+	// when a cost model has already memoized it for this (graph,
+	// calibration) pair, else built lazily on first use (one Dijkstra sweep
+	// per source, amortized over every query of the run).
 	worc *topo.WeightedOracle
 	// prefer is the tie-break hook handed to the distance oracle's path walk;
 	// hoisted here so path() does not allocate a closure per query.
@@ -58,7 +60,7 @@ type state struct {
 	stoch *stochScratch
 }
 
-func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, b int) float64) (*state, error) {
+func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, b int) float64, worc *topo.WeightedOracle) (*state, error) {
 	if initial.Size() != g.NumQubits() {
 		return nil, fmt.Errorf("route: layout covers %d qubits, device has %d", initial.Size(), g.NumQubits())
 	}
@@ -69,6 +71,7 @@ func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, 
 		out:      circuit.New(n),
 		rng:      rand.New(rand.NewSource(seed)),
 		weight:   weight,
+		worc:     worc,
 		involved: make([]bool, n),
 		prevBuf:  make([]int, n),
 		avoidBuf: make([]bool, n),
@@ -77,16 +80,22 @@ func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, 
 	return s, nil
 }
 
+// weightedOracle returns the state's weighted-path tables, building them on
+// first use when the caller did not inject a shared (memoized) oracle.
+func (s *state) weightedOracle() *topo.WeightedOracle {
+	if s.worc == nil {
+		s.worc = topo.NewWeightedOracle(s.g, s.weight)
+	}
+	return s.worc
+}
+
 // path returns a routing path between physical qubits: oracle shortest path
 // with stochastic tie-breaking, or weighted-oracle (Dijkstra) paths when a
 // noise weight is set. The returned slice is the state's scratch buffer,
 // valid until the next path or bfsAvoid call.
 func (s *state) path(from, to int) []int {
 	if s.weight != nil {
-		if s.worc == nil {
-			s.worc = topo.NewWeightedOracle(s.g, s.weight)
-		}
-		p, ok := s.worc.PathAppend(s.pathBuf[:0], from, to)
+		p, ok := s.weightedOracle().PathAppend(s.pathBuf[:0], from, to)
 		s.pathBuf = p[:0:cap(p)]
 		if !ok {
 			return nil
@@ -137,11 +146,15 @@ type Baseline struct {
 	Seed int64
 	// Weight enables noise-aware path selection when non-nil.
 	Weight func(a, b int) float64
+	// Oracle, when non-nil, is the precomputed weighted-path table for
+	// Weight (typically a cost model's per-(graph, calibration) memo);
+	// when nil and Weight is set, the router builds its own.
+	Oracle *topo.WeightedOracle
 }
 
 // Route implements Router.
 func (b *Baseline) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
-	s, err := newState(g, initial, b.Seed, b.Weight)
+	s, err := newState(g, initial, b.Seed, b.Weight, b.Oracle)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,15 @@ type Stochastic struct {
 	Trials int
 	// TrioAware enables CCX routing (for the Trios pipeline).
 	TrioAware bool
+	// Weight, when non-nil, makes the swap search noise-aware: candidate
+	// swaps are delta-scored against the weighted-path tables (-log CNOT
+	// success) instead of the integer hop matrix, so the random walk is
+	// biased through reliable couplers. A nil Weight keeps the legacy
+	// integer scoring bit for bit.
+	Weight func(a, b int) float64
+	// Oracle, when non-nil, is the precomputed weighted-path table for
+	// Weight (a cost model's per-(graph, calibration) memo).
+	Oracle *topo.WeightedOracle
 }
 
 // maxSeqLen bounds one trial's swap sequence; 2*diameter*pairs is always
@@ -42,7 +51,7 @@ func (s *Stochastic) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.La
 	if trials <= 0 {
 		trials = 4
 	}
-	st, err := newState(g, initial, s.Seed, nil)
+	st, err := newState(g, initial, s.Seed, s.Weight, s.Oracle)
 	if err != nil {
 		return nil, err
 	}
@@ -186,12 +195,18 @@ func (st *state) stochScratch() *stochScratch {
 // distance, and the swap improves the layer exactly when the summed delta of
 // those pairs is negative. Distances are exact integers, so the delta test
 // selects the same improving set as the legacy recompute-everything scan.
+// In noise-aware mode the same delta runs against the weighted-path tables,
+// so "improving" means lowering the layer's summed -log success.
 func (s *Stochastic) oneTrial(st *state, g *topo.Graph, pending [][2]int, limit int) [][2]int {
 	sc := st.stochScratch()
 	l := sc.trialL
 	l.CopyFrom(st.l)
 	rng := st.rng
 	var seq [][2]int
+	var worc *topo.WeightedOracle
+	if st.weight != nil {
+		worc = st.weightedOracle()
+	}
 
 	edges := g.EdgeList()
 	involved := st.involved
@@ -237,6 +252,20 @@ func (s *Stochastic) oneTrial(st *state, g *topo.Graph, pending [][2]int, limit 
 			// both endpoints sits exactly on e — but then it is already
 			// adjacent and the trial returned above, so no pair is visited
 			// twice here (and even if one were, its delta is 0 by symmetry).
+			if worc != nil {
+				delta := 0.0
+				for _, end := range e {
+					for _, i := range sc.pairsAt[end] {
+						a, b := sc.pairA[i], sc.pairB[i]
+						na, nb := swapEnd(a, e), swapEnd(b, e)
+						delta += worc.Dist(na, nb) - worc.Dist(a, b)
+					}
+				}
+				if delta < 0 {
+					improving = append(improving, e)
+				}
+				continue
+			}
 			delta := 0
 			for _, end := range e {
 				for _, i := range sc.pairsAt[end] {

@@ -19,11 +19,14 @@ type Trios struct {
 	Seed int64
 	// Weight enables noise-aware path selection when non-nil.
 	Weight func(a, b int) float64
+	// Oracle, when non-nil, is the precomputed weighted-path table for
+	// Weight (a cost model's per-(graph, calibration) memo).
+	Oracle *topo.WeightedOracle
 }
 
 // Route implements Router.
 func (t *Trios) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
-	s, err := newState(g, initial, t.Seed, t.Weight)
+	s, err := newState(g, initial, t.Seed, t.Weight, t.Oracle)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,18 @@ type Artifact struct {
 	FinalLayout   []int                 `json:"final_layout"`
 	Passes        []compiler.PassMetric `json:"passes"`
 	CompileNanos  int64                 `json:"compile_ns"`
+	// Fidelity block, present on calibration-parameterized compiles: the
+	// calibration name, the cost model that drove routing, the closed-form
+	// estimated success probability, and the ASAP makespan (us). Omitted
+	// for calibration-less requests, whose bodies stay byte-identical to
+	// the pre-calibration wire format. The numbers are pointers so a
+	// success estimate that underflows to exactly 0 still serializes —
+	// "estimated success ~ 0" and "no estimate produced" must be
+	// distinguishable on the wire.
+	Calibration      string   `json:"calibration,omitempty"`
+	CostModel        string   `json:"cost_model,omitempty"`
+	EstimatedSuccess *float64 `json:"estimated_success,omitempty"`
+	MakespanUs       *float64 `json:"makespan_us,omitempty"`
 
 	Body []byte `json:"-"`
 }

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"trios/internal/device"
+)
+
+// TestHTTPCalibrationCompile drives a calibration-parameterized compile over
+// the wire: the artifact must carry the fidelity block, the cache key must
+// separate (plain, uniform, noise) variants of one request, and the uniform
+// arm's QASM must be byte-identical to the calibration-less compile.
+func TestHTTPCalibrationCompile(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := CompileRequest{Benchmark: "cnx_inplace-4", Pipeline: "trios", Seed: seedp(3)}
+
+	decode := func(resp *http.Response) Artifact {
+		t.Helper()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status = %d: %s", resp.StatusCode, body)
+		}
+		var a Artifact
+		if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	plain := decode(postCompile(t, ts, base))
+	if plain.Calibration != "" || plain.EstimatedSuccess != nil || plain.MakespanUs != nil || plain.CostModel != "" {
+		t.Fatalf("calibration-less artifact carries a fidelity block: %+v", plain)
+	}
+
+	noisy := base
+	noisy.Calibration = "johannesburg-0819"
+	aware := decode(postCompile(t, ts, noisy))
+	if aware.Calibration != "johannesburg-0819" || aware.CostModel != "noise:johannesburg-0819" {
+		t.Fatalf("fidelity block wrong: %+v", aware)
+	}
+	if aware.EstimatedSuccess == nil || aware.MakespanUs == nil {
+		t.Fatalf("fidelity block missing: %+v", aware)
+	}
+	if *aware.EstimatedSuccess <= 0 || *aware.EstimatedSuccess >= 1 || *aware.MakespanUs <= 0 {
+		t.Fatalf("implausible fidelity block: success=%v makespan=%v", *aware.EstimatedSuccess, *aware.MakespanUs)
+	}
+
+	uni := noisy
+	uni.Cost = "uniform"
+	control := decode(postCompile(t, ts, uni))
+	if control.CostModel != "uniform" || control.Calibration != "johannesburg-0819" {
+		t.Fatalf("uniform arm block wrong: %+v", control)
+	}
+	if control.QASM != plain.QASM {
+		t.Fatal("uniform cost model changed the compiled QASM over the wire")
+	}
+	if control.EstimatedSuccess == nil || *control.EstimatedSuccess <= 0 {
+		t.Fatal("uniform arm lost its fidelity stats")
+	}
+
+	keys := map[string]bool{plain.Key: true, aware.Key: true, control.Key: true}
+	if len(keys) != 3 {
+		t.Fatalf("cache keys do not distinguish calibration variants: %v / %v / %v",
+			plain.Key, aware.Key, control.Key)
+	}
+
+	// Identical calibrated requests still coalesce onto one cache entry.
+	again := decode(postCompile(t, ts, noisy))
+	if again.Key != aware.Key {
+		t.Fatal("repeated calibrated request changed key")
+	}
+}
+
+// TestHTTPCalibrationErrors: unknown names and cost-without-calibration are
+// request errors (400), not server errors.
+func TestHTTPCalibrationErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := CompileRequest{Benchmark: "cnx_inplace-4", Calibration: "nope"}
+	if resp := postCompile(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown calibration: status %d", resp.StatusCode)
+	}
+	costOnly := CompileRequest{Benchmark: "cnx_inplace-4", Cost: "uniform"}
+	if resp := postCompile(t, ts, costOnly); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cost without calibration: status %d", resp.StatusCode)
+	}
+	mismatch := CompileRequest{Benchmark: "cnx_inplace-4", Topology: "grid", Calibration: "johannesburg-0819"}
+	resp := postCompile(t, ts, mismatch)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("calibration/topology mismatch: status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPCalibrationsEndpoint lists the registry with digests.
+func TestHTTPCalibrationsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/calibrations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var infos []calibrationInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(device.Names()) {
+		t.Fatalf("got %d calibrations, registry has %d", len(infos), len(device.Names()))
+	}
+	for i, name := range device.Names() {
+		info := infos[i]
+		if info.Name != name {
+			t.Errorf("entry %d: name %q, want %q", i, info.Name, name)
+		}
+		cal, err := device.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Digest != cal.Digest() {
+			t.Errorf("%s: digest mismatch", name)
+		}
+		if info.Qubits != cal.Qubits || info.Edges != len(cal.TwoQubitError) {
+			t.Errorf("%s: size fields wrong: %+v", name, info)
+		}
+		if info.MeanTwoQubitError <= 0 || info.WorstTwoQubitError < info.MeanTwoQubitError {
+			t.Errorf("%s: error summary implausible: %+v", name, info)
+		}
+	}
+}

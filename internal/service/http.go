@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"trios/internal/device"
 	"trios/internal/topo"
 	"trios/internal/version"
 )
@@ -16,14 +17,16 @@ const maxRequestBytes = 4 << 20
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /v1/compile  — compile QASM (or a named benchmark) for a device
-//	GET  /v1/devices  — the device registry
-//	GET  /healthz     — liveness + build identity (503 while draining)
-//	GET  /metrics     — Prometheus text exposition
+//	POST /v1/compile       — compile QASM (or a named benchmark) for a device
+//	GET  /v1/devices       — the device registry
+//	GET  /v1/calibrations  — the calibration registry
+//	GET  /healthz          — liveness + build identity (503 while draining)
+//	GET  /metrics          — Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	mux.HandleFunc("GET /v1/calibrations", s.handleCalibrations)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.instrument(mux)
@@ -130,6 +133,41 @@ func (s *Service) handleDevices(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out = append(out, deviceInfo{Name: n, Device: g.Name(), Qubits: g.NumQubits(), Edges: len(g.EdgeList())})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// calibrationInfo describes one registry calibration.
+type calibrationInfo struct {
+	Name   string `json:"name"`
+	Device string `json:"device"`
+	Qubits int    `json:"qubits"`
+	Edges  int    `json:"edges"`
+	// MeanTwoQubitError and WorstTwoQubitError summarize the coupling table.
+	MeanTwoQubitError  float64 `json:"mean_two_qubit_error"`
+	WorstTwoQubitError float64 `json:"worst_two_qubit_error"`
+	// Digest is the content address folded into compile cache keys.
+	Digest string `json:"digest"`
+}
+
+func (s *Service) handleCalibrations(w http.ResponseWriter, r *http.Request) {
+	names := device.Names()
+	out := make([]calibrationInfo, 0, len(names))
+	for _, n := range names {
+		cal, err := device.ByName(n)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, calibrationInfo{
+			Name:               cal.Name,
+			Device:             cal.Device,
+			Qubits:             cal.Qubits,
+			Edges:              len(cal.TwoQubitError),
+			MeanTwoQubitError:  cal.MeanTwoQubitError(),
+			WorstTwoQubitError: cal.WorstEdgeError(),
+			Digest:             cal.Digest(),
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

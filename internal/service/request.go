@@ -38,6 +38,17 @@ type CompileRequest struct {
 	// the CLI's default of 1.
 	Seed     *int64 `json:"seed,omitempty"`
 	Optimize bool   `json:"optimize,omitempty"`
+	// Calibration names a registry calibration (see GET /v1/calibrations).
+	// When set, the compile is calibration-parameterized: routing and
+	// placement weigh edges by the calibration's -log CNOT success rates
+	// (unless Cost overrides) and the response carries an estimated-success
+	// + makespan block.
+	Calibration string `json:"calibration,omitempty"`
+	// Cost selects the cost model under a calibration: "noise" (default)
+	// or "uniform" (compile exactly like a calibration-less request —
+	// byte-identical QASM — but still report the fidelity block). Setting
+	// it without a calibration is an error.
+	Cost string `json:"cost,omitempty"`
 }
 
 // RequestError marks a failure attributable to the request itself (unknown
@@ -161,6 +172,9 @@ func resolveOptions(req CompileRequest) (compiler.Options, error) {
 	opts.Seed = 1 // the trios CLI's default seed
 	if req.Seed != nil {
 		opts.Seed = *req.Seed
+	}
+	if opts.Calibration, opts.CostModel, err = compiler.ResolveCalibration(req.Calibration, req.Cost); err != nil {
+		return opts, badRequest("%v", err)
 	}
 	return opts, nil
 }

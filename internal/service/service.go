@@ -228,6 +228,13 @@ func buildArtifact(spec *JobSpec, jr compiler.JobResult) (*Artifact, error) {
 		Passes:        jr.Result.Passes,
 		CompileNanos:  jr.Elapsed.Nanoseconds(),
 	}
+	if spec.Opts.Calibration != nil {
+		success, makespan := jr.Result.EstimatedSuccess, jr.Result.Makespan
+		a.Calibration = spec.Opts.Calibration.Name
+		a.CostModel = jr.Result.CostModel
+		a.EstimatedSuccess = &success
+		a.MakespanUs = &makespan
+	}
 	body, err := json.Marshal(a)
 	if err != nil {
 		return nil, err
