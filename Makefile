@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-route bench-sim bench-noise bench-service serve loadgen lint vet fmt fmt-check bench-json
+# Benchmark runs need real parallelism to measure anything: a 1-2 core CI
+# runner would silently suppress every parallel arm. GOMAXPROCS is honored by
+# the Go runtime even above the core count, so floor it at 4 for all bench
+# targets (callers can still override: GOMAXPROCS=8 make bench-service).
+GOMAXPROCS ?= 4
+BENCH_ENV = GOMAXPROCS=$(GOMAXPROCS)
+
+.PHONY: all build test race bench bench-route bench-sim bench-noise bench-service bench-fleet fleet serve loadgen lint vet fmt fmt-check bench-json
 
 all: build test
 
@@ -12,15 +19,16 @@ test:
 
 # Race-check the concurrent compilation engine, the routers it drives, the
 # lazily-built per-device distance oracle they all share, the simulation
-# engine's parallel sweeps and trajectory workers, and the serving layer's
-# cache/singleflight/admission machinery.
+# engine's parallel sweeps and trajectory workers, the serving layer's
+# cache/singleflight/admission machinery, the persistent artifact store, and
+# the fleet proxy's routing/health paths.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
 bench:
-	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+	$(BENCH_ENV) $(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
 
 # Routing micro-benchmarks: router end-to-end timings plus old-vs-new path
 # machinery (legacy per-query BFS/Dijkstra vs the distance-oracle lookups).
@@ -29,7 +37,7 @@ bench-route:
 
 # Emit the machine-readable compile-path benchmark for the perf trajectory.
 bench-json:
-	$(GO) run ./cmd/experiments -bench-json BENCH_compile.json
+	$(BENCH_ENV) $(GO) run ./cmd/experiments -bench-json BENCH_compile.json
 
 # Simulation-engine benchmark: legacy full-scan kernels vs fused branch-free
 # kernels (serial + parallel), serial Monte-Carlo vs the parallel trajectory
@@ -38,7 +46,7 @@ bench-json:
 # pipe would swallow the benchmark's exit status and let a determinism
 # failure pass CI.)
 bench-sim:
-	$(GO) run ./cmd/experiments -sim-bench BENCH_sim.json > BENCH_sim.txt
+	$(BENCH_ENV) $(GO) run ./cmd/experiments -sim-bench BENCH_sim.json > BENCH_sim.txt
 	cat BENCH_sim.txt
 
 # Noise-aware sweep: the benchmark suite compiled under per-device
@@ -62,7 +70,20 @@ loadgen:
 # latency quantiles, cache hit rate). TRIOSD_RACE=-race instruments the
 # daemon for the CI smoke.
 bench-service:
-	sh scripts/bench_service.sh
+	$(BENCH_ENV) sh scripts/bench_service.sh
+
+# Fleet benchmark: 3 triosd replicas (each with a persistent artifact store)
+# behind the triosfleet consistent-hash proxy. Measures single-vs-fleet
+# throughput, kills a replica mid-run, then restarts everything and asserts
+# the warm-restart hit rate. Writes BENCH_fleet.json. TRIOSD_RACE=-race
+# instruments the daemons for the CI smoke; FLEET_MIN_SPEEDUP tightens the
+# scaling floor.
+bench-fleet:
+	$(BENCH_ENV) sh scripts/bench_fleet.sh
+
+# Run a local 3-replica fleet behind the proxy until ctrl-c (no benchmark).
+fleet:
+	FLEET_HOLD=1 sh scripts/bench_fleet.sh
 
 vet:
 	$(GO) vet ./...

@@ -1,13 +1,23 @@
-// Command loadgen is a closed-loop load generator for triosd: -concurrency
-// workers each keep exactly one request in flight, replaying a benchmark mix
-// round-robin against POST /v1/compile until -duration (or -requests)
-// elapses, then report throughput, latency quantiles, per-status counts, and
-// the cache hit rate observed via the X-Trios-Cache response header. The
-// machine-readable report lands in -out (BENCH_service.json).
+// Command loadgen is a closed-loop load generator for triosd and triosfleet:
+// -concurrency workers each keep exactly one request in flight, replaying a
+// benchmark mix round-robin against POST /v1/compile until -duration (or
+// -requests) elapses, then report throughput, latency quantiles, per-status
+// counts, the cache hit rate observed via the X-Trios-Cache response header
+// (disk-tier hits included), and — when driving a fleet — the per-replica
+// request counts observed via X-Trios-Replica. The machine-readable report
+// lands in -out (BENCH_service.json).
+//
+// With -phase NAME the report is instead merged into a fleet benchmark file
+// (default BENCH_fleet.json) under phases.NAME, and the derived fleet
+// metrics are recomputed from the phases present: fleet_vs_single_speedup
+// from phases "fleet" and "single", warm_restart_hit_rate from phase "warm".
+// The -min-hit-rate, -min-disk-hits, and -min-speedup flags turn the run
+// into an assertion, for CI.
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8421 -concurrency 8 -duration 10s -out BENCH_service.json
+//	loadgen -addr http://127.0.0.1:8420 -phase fleet -out BENCH_fleet.json
 //	loadgen -addr http://127.0.0.1:8421 -ping   # healthz probe, for scripts
 package main
 
@@ -15,11 +25,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,33 +42,55 @@ import (
 	"trios/internal/version"
 )
 
+// options is the parsed flag set for one load run.
+type options struct {
+	addr        string
+	concurrency int
+	duration    time.Duration
+	requests    int
+	mix         string
+	pipelines   string
+	topology    string
+	seed        int64
+	seeds       string
+	out         string
+	phase       string
+	minHitRate  float64
+	minDiskHits int
+	minSpeedup  float64
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", "http://127.0.0.1:8421", "triosd base URL")
-		concurrency = flag.Int("concurrency", 8, "workers, each with one request in flight")
-		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
-		requests    = flag.Int("requests", 0, "stop after this many requests (0 = duration only)")
-		mix         = flag.String("mix", "bv-20,qft_adder-16,qaoa_complete-10,cnx_dirty-11,grovers-9", "comma-separated benchmark names to replay")
-		pipelines   = flag.String("pipelines", "baseline,trios", "comma-separated pipelines crossed with the mix")
-		topology    = flag.String("topology", "johannesburg", "target device for every request")
-		seed        = flag.Int64("seed", 1, "compile seed (constant across the run, so repeats hit the cache)")
-		out         = flag.String("out", "BENCH_service.json", "write the JSON report here ('' = stdout only)")
-		ping        = flag.Bool("ping", false, "probe GET /healthz and exit 0 when the daemon is up")
-		showVersion = flag.Bool("version", false, "print build version and exit")
-	)
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "http://127.0.0.1:8421", "triosd or triosfleet base URL")
+	flag.IntVar(&opts.concurrency, "concurrency", 8, "workers, each with one request in flight")
+	flag.DurationVar(&opts.duration, "duration", 10*time.Second, "how long to drive load")
+	flag.IntVar(&opts.requests, "requests", 0, "stop after this many requests (0 = duration only)")
+	flag.StringVar(&opts.mix, "mix", "bv-20,qft_adder-16,qaoa_complete-10,cnx_dirty-11,grovers-9", "comma-separated benchmark names to replay")
+	flag.StringVar(&opts.pipelines, "pipelines", "baseline,trios", "comma-separated pipelines crossed with the mix")
+	flag.StringVar(&opts.topology, "topology", "johannesburg", "target device for every request")
+	flag.Int64Var(&opts.seed, "seed", 1, "compile seed (constant across the run, so repeats hit the cache)")
+	flag.StringVar(&opts.seeds, "seeds", "", "comma-separated seed list crossed with the mix (overrides -seed; widens the distinct-key set for fleet sharding)")
+	flag.StringVar(&opts.out, "out", "BENCH_service.json", "write the JSON report here ('' = stdout only)")
+	flag.StringVar(&opts.phase, "phase", "", "merge the report into a fleet benchmark file under phases.NAME instead of overwriting -out")
+	flag.Float64Var(&opts.minHitRate, "min-hit-rate", -1, "fail unless this run's cache hit rate (disk hits included) reaches this fraction")
+	flag.IntVar(&opts.minDiskHits, "min-disk-hits", -1, "fail unless this run observed at least this many disk-tier (hit-disk) responses")
+	flag.Float64Var(&opts.minSpeedup, "min-speedup", -1, "fail unless fleet_vs_single_speedup (needs phases fleet and single) reaches this")
+	ping := flag.Bool("ping", false, "probe GET /healthz and exit 0 when the daemon is up")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.Get())
 		return
 	}
 	if *ping {
-		if err := pingHealthz(*addr); err != nil {
+		if err := pingHealthz(opts.addr); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*addr, *concurrency, *duration, *requests, *mix, *pipelines, *topology, *seed, *out); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -79,10 +113,12 @@ func pingHealthz(addr string) error {
 type sample struct {
 	latency time.Duration
 	status  int
-	cache   string // X-Trios-Cache: hit | miss | coalesced (2xx only)
+	cache   string // X-Trios-Cache: hit | hit-disk | miss | coalesced (2xx only)
+	replica string // X-Trios-Replica when a fleet proxy answered
 }
 
-// Report is the BENCH_service.json schema.
+// Report is the per-run schema: BENCH_service.json, or one phase of
+// BENCH_fleet.json.
 type Report struct {
 	Config struct {
 		Addr        string   `json:"addr"`
@@ -91,13 +127,21 @@ type Report struct {
 		Pipelines   []string `json:"pipelines"`
 		Topology    string   `json:"topology"`
 		Seed        int64    `json:"seed"`
+		Seeds       []int64  `json:"seeds,omitempty"`
+		// DistinctBodies is the number of distinct request bodies (= distinct
+		// cache keys) the mix replays.
+		DistinctBodies int `json:"distinct_bodies"`
 	} `json:"config"`
-	DurationSeconds float64        `json:"duration_seconds"`
-	Requests        int            `json:"requests"`
-	Errors          int            `json:"errors"`
-	StatusCounts    map[string]int `json:"status_counts"`
-	ThroughputRPS   float64        `json:"throughput_rps"`
-	LatencyMS       struct {
+	// GOMAXPROCS and EffectiveWorkers record the parallelism this run
+	// actually had, so a report from a throttled environment is legible.
+	GOMAXPROCS       int            `json:"gomaxprocs"`
+	EffectiveWorkers int            `json:"effective_workers"`
+	DurationSeconds  float64        `json:"duration_seconds"`
+	Requests         int            `json:"requests"`
+	Errors           int            `json:"errors"`
+	StatusCounts     map[string]int `json:"status_counts"`
+	ThroughputRPS    float64        `json:"throughput_rps"`
+	LatencyMS        struct {
 		P50  float64 `json:"p50"`
 		P95  float64 `json:"p95"`
 		P99  float64 `json:"p99"`
@@ -105,50 +149,77 @@ type Report struct {
 		Max  float64 `json:"max"`
 	} `json:"latency_ms"`
 	Cache struct {
-		Hits      int     `json:"hits"`
-		Misses    int     `json:"misses"`
-		Coalesced int     `json:"coalesced"`
-		HitRate   float64 `json:"hit_rate"`
+		Hits      int `json:"hits"`
+		DiskHits  int `json:"disk_hits"`
+		Misses    int `json:"misses"`
+		Coalesced int `json:"coalesced"`
+		// HitRate counts both cache tiers: (hits + disk_hits) / decided.
+		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
+	// Replicas maps replica name -> requests it answered (fleet runs only).
+	Replicas map[string]int `json:"replicas,omitempty"`
 }
 
-func run(addr string, concurrency int, duration time.Duration, maxRequests int, mix, pipelines, topology string, seed int64, out string) error {
-	if concurrency < 1 {
+// FleetReport is the BENCH_fleet.json schema: one Report per named phase plus
+// metrics derived across phases.
+type FleetReport struct {
+	Phases map[string]*Report `json:"phases"`
+	// FleetVsSingleSpeedup = phases.fleet.throughput / phases.single.throughput.
+	FleetVsSingleSpeedup float64 `json:"fleet_vs_single_speedup,omitempty"`
+	// WarmRestartHitRate = phases.warm.cache.hit_rate.
+	WarmRestartHitRate float64 `json:"warm_restart_hit_rate,omitempty"`
+}
+
+func run(opts options) error {
+	if opts.concurrency < 1 {
 		return fmt.Errorf("concurrency must be >= 1")
 	}
-	benches := splitList(mix)
-	pipes := splitList(pipelines)
+	benches := splitList(opts.mix)
+	pipes := splitList(opts.pipelines)
 	if len(benches) == 0 || len(pipes) == 0 {
 		return fmt.Errorf("empty -mix or -pipelines")
+	}
+	seeds := []int64{opts.seed}
+	if opts.seeds != "" {
+		seeds = seeds[:0]
+		for _, s := range splitList(opts.seeds) {
+			var v int64
+			if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+				return fmt.Errorf("bad -seeds entry %q", s)
+			}
+			seeds = append(seeds, v)
+		}
 	}
 	var bodies [][]byte
 	for _, b := range benches {
 		for _, p := range pipes {
-			req := service.CompileRequest{Benchmark: b, Topology: topology, Pipeline: p, Seed: &seed}
-			body, err := json.Marshal(req)
-			if err != nil {
-				return err
+			for i := range seeds {
+				req := service.CompileRequest{Benchmark: b, Topology: opts.topology, Pipeline: p, Seed: &seeds[i]}
+				body, err := json.Marshal(req)
+				if err != nil {
+					return err
+				}
+				bodies = append(bodies, body)
 			}
-			bodies = append(bodies, body)
 		}
 	}
 
-	url := strings.TrimSuffix(addr, "/") + "/v1/compile"
+	url := strings.TrimSuffix(opts.addr, "/") + "/v1/compile"
 	client := &http.Client{Timeout: 60 * time.Second}
-	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.duration)
 	defer cancel()
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	perWorker := make([][]sample, concurrency)
+	perWorker := make([][]sample, opts.concurrency)
 	start := time.Now()
-	for w := 0; w < concurrency; w++ {
+	for w := 0; w < opts.concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := next.Add(1) - 1
-				if maxRequests > 0 && i >= int64(maxRequests) {
+				if opts.requests > 0 && i >= int64(opts.requests) {
 					return
 				}
 				body := bodies[i%int64(len(bodies))]
@@ -171,34 +242,116 @@ func run(addr string, concurrency int, duration time.Duration, maxRequests int, 
 		all = append(all, s...)
 	}
 	if len(all) == 0 {
-		return fmt.Errorf("no requests completed; is triosd running at %s?", addr)
+		return fmt.Errorf("no requests completed; is triosd running at %s?", opts.addr)
 	}
 	rep := summarize(all, elapsed)
-	rep.Config.Addr = addr
-	rep.Config.Concurrency = concurrency
+	rep.Config.Addr = opts.addr
+	rep.Config.Concurrency = opts.concurrency
 	rep.Config.Mix = benches
 	rep.Config.Pipelines = pipes
-	rep.Config.Topology = topology
-	rep.Config.Seed = seed
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
+	rep.Config.Topology = opts.topology
+	rep.Config.Seed = opts.seed
+	if opts.seeds != "" {
+		rep.Config.Seeds = seeds
 	}
-	if out != "" {
-		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+	rep.Config.DistinctBodies = len(bodies)
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.EffectiveWorkers = opts.concurrency
+
+	var fleetRep *FleetReport
+	if opts.phase != "" {
+		var err error
+		if fleetRep, err = mergePhase(opts.out, opts.phase, rep); err != nil {
+			return err
+		}
+	} else if opts.out != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.out, append(enc, '\n'), 0o644); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("loadgen: %d requests in %.2fs  %.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  hit rate %.1f%%  errors %d\n",
+
+	fmt.Printf("loadgen: %d requests in %.2fs  %.1f req/s  p50 %.2fms  p95 %.2fms  p99 %.2fms  hit rate %.1f%% (%d disk)  errors %d\n",
 		rep.Requests, rep.DurationSeconds, rep.ThroughputRPS,
 		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99,
-		100*rep.Cache.HitRate, rep.Errors)
-	if out != "" {
-		fmt.Printf("loadgen: wrote %s\n", out)
+		100*rep.Cache.HitRate, rep.Cache.DiskHits, rep.Errors)
+	if len(rep.Replicas) > 0 {
+		parts := make([]string, 0, len(rep.Replicas))
+		for _, name := range sortedKeys(rep.Replicas) {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, rep.Replicas[name]))
+		}
+		fmt.Printf("loadgen: replicas %s\n", strings.Join(parts, " "))
 	}
+	if opts.out != "" {
+		if opts.phase != "" {
+			fmt.Printf("loadgen: merged phase %q into %s\n", opts.phase, opts.out)
+		} else {
+			fmt.Printf("loadgen: wrote %s\n", opts.out)
+		}
+	}
+
 	if float64(rep.Errors) > 0.01*float64(rep.Requests) {
 		return fmt.Errorf("error rate %.1f%% exceeds 1%%", 100*float64(rep.Errors)/float64(rep.Requests))
+	}
+	return assert(opts, rep, fleetRep)
+}
+
+// mergePhase folds rep into the FleetReport at path under phases[name],
+// recomputes the cross-phase metrics, and writes the file back.
+func mergePhase(path, name string, rep *Report) (*FleetReport, error) {
+	fleet := &FleetReport{Phases: make(map[string]*Report)}
+	if path != "" {
+		if raw, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(raw, fleet); err != nil {
+				return nil, fmt.Errorf("existing %s is not a fleet report: %v", path, err)
+			}
+			if fleet.Phases == nil {
+				fleet.Phases = make(map[string]*Report)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	fleet.Phases[name] = rep
+	if single, ok := fleet.Phases["single"]; ok && single.ThroughputRPS > 0 {
+		if f, ok := fleet.Phases["fleet"]; ok {
+			fleet.FleetVsSingleSpeedup = f.ThroughputRPS / single.ThroughputRPS
+		}
+	}
+	if warm, ok := fleet.Phases["warm"]; ok {
+		fleet.WarmRestartHitRate = warm.Cache.HitRate
+	}
+	if path != "" {
+		enc, err := json.MarshalIndent(fleet, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return fleet, nil
+}
+
+// assert applies the -min-* acceptance thresholds.
+func assert(opts options, rep *Report, fleet *FleetReport) error {
+	if opts.minHitRate >= 0 && rep.Cache.HitRate < opts.minHitRate {
+		return fmt.Errorf("hit rate %.3f below -min-hit-rate %.3f", rep.Cache.HitRate, opts.minHitRate)
+	}
+	if opts.minDiskHits >= 0 && rep.Cache.DiskHits < opts.minDiskHits {
+		return fmt.Errorf("disk hits %d below -min-disk-hits %d", rep.Cache.DiskHits, opts.minDiskHits)
+	}
+	if opts.minSpeedup >= 0 {
+		if fleet == nil || fleet.FleetVsSingleSpeedup == 0 {
+			return fmt.Errorf("-min-speedup needs phases %q and %q in the fleet report", "fleet", "single")
+		}
+		if fleet.FleetVsSingleSpeedup < opts.minSpeedup {
+			return fmt.Errorf("fleet_vs_single_speedup %.2f below -min-speedup %.2f", fleet.FleetVsSingleSpeedup, opts.minSpeedup)
+		}
+		fmt.Printf("loadgen: fleet_vs_single_speedup %.2fx (>= %.2f required)\n", fleet.FleetVsSingleSpeedup, opts.minSpeedup)
 	}
 	return nil
 }
@@ -220,6 +373,7 @@ func shoot(ctx context.Context, client *http.Client, url string, body []byte) (s
 		latency: time.Since(start),
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Trios-Cache"),
+		replica: resp.Header.Get("X-Trios-Replica"),
 	}, nil
 }
 
@@ -238,12 +392,20 @@ func summarize(all []sample, elapsed time.Duration) *Report {
 			rep.Errors++
 			continue
 		}
+		if s.replica != "" {
+			if rep.Replicas == nil {
+				rep.Replicas = make(map[string]int)
+			}
+			rep.Replicas[s.replica]++
+		}
 		ms := float64(s.latency) / float64(time.Millisecond)
 		latencies = append(latencies, ms)
 		sum += ms
 		switch s.cache {
 		case "hit":
 			rep.Cache.Hits++
+		case "hit-disk":
+			rep.Cache.DiskHits++
 		case "coalesced":
 			rep.Cache.Coalesced++
 		default:
@@ -262,8 +424,8 @@ func summarize(all []sample, elapsed time.Duration) *Report {
 		rep.LatencyMS.Mean = sum / float64(len(latencies))
 		rep.LatencyMS.Max = latencies[len(latencies)-1]
 	}
-	if ok := rep.Cache.Hits + rep.Cache.Misses + rep.Cache.Coalesced; ok > 0 {
-		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(ok)
+	if ok := rep.Cache.Hits + rep.Cache.DiskHits + rep.Cache.Misses + rep.Cache.Coalesced; ok > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits+rep.Cache.DiskHits) / float64(ok)
 	}
 	return rep
 }
@@ -290,5 +452,14 @@ func splitList(s string) []string {
 			out = append(out, p)
 		}
 	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }

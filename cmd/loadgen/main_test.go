@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSummarizeCountsBothCacheTiers(t *testing.T) {
+	all := []sample{
+		{latency: time.Millisecond, status: 200, cache: "miss", replica: "r0"},
+		{latency: time.Millisecond, status: 200, cache: "hit", replica: "r0"},
+		{latency: time.Millisecond, status: 200, cache: "hit-disk", replica: "r1"},
+		{latency: time.Millisecond, status: 200, cache: "hit-disk", replica: "r1"},
+		{latency: time.Millisecond, status: 429},
+		{status: 0},
+	}
+	rep := summarize(all, time.Second)
+	if rep.Cache.Hits != 1 || rep.Cache.DiskHits != 2 || rep.Cache.Misses != 1 {
+		t.Fatalf("cache counts: %+v", rep.Cache)
+	}
+	if want := 3.0 / 4.0; rep.Cache.HitRate != want {
+		t.Fatalf("hit rate %v, want %v (disk hits must count)", rep.Cache.HitRate, want)
+	}
+	if rep.Errors != 2 || rep.StatusCounts["transport_error"] != 1 {
+		t.Fatalf("errors=%d statusCounts=%v", rep.Errors, rep.StatusCounts)
+	}
+	if rep.Replicas["r0"] != 2 || rep.Replicas["r1"] != 2 {
+		t.Fatalf("replica counts: %v", rep.Replicas)
+	}
+}
+
+func phaseReport(rps, hitRate float64) *Report {
+	rep := &Report{}
+	rep.ThroughputRPS = rps
+	rep.Cache.HitRate = hitRate
+	return rep
+}
+
+func TestMergePhaseDerivesFleetMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+
+	if _, err := mergePhase(path, "single", phaseReport(100, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := mergePhase(path, "fleet", phaseReport(250, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.FleetVsSingleSpeedup != 2.5 {
+		t.Fatalf("speedup %v, want 2.5", fleet.FleetVsSingleSpeedup)
+	}
+	if fleet, err = mergePhase(path, "warm", phaseReport(300, 0.95)); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.WarmRestartHitRate != 0.95 || fleet.FleetVsSingleSpeedup != 2.5 {
+		t.Fatalf("derived metrics: %+v", fleet)
+	}
+
+	// The file on disk holds all three phases and the derived metrics.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk FleetReport
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk.Phases) != 3 || onDisk.FleetVsSingleSpeedup != 2.5 || onDisk.WarmRestartHitRate != 0.95 {
+		t.Fatalf("on-disk report: %s", raw)
+	}
+}
+
+func TestMergePhaseRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergePhase(path, "single", phaseReport(1, 1)); err == nil {
+		t.Fatal("mergePhase accepted a non-JSON file")
+	}
+}
+
+func TestAssertThresholds(t *testing.T) {
+	rep := phaseReport(100, 0.8)
+	rep.Cache.DiskHits = 3
+
+	if err := assert(options{minHitRate: 0.9}, rep, nil); err == nil {
+		t.Fatal("hit rate 0.8 passed -min-hit-rate 0.9")
+	}
+	if err := assert(options{minHitRate: 0.8, minDiskHits: 3, minSpeedup: -1}, rep, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := assert(options{minHitRate: -1, minDiskHits: 4, minSpeedup: -1}, rep, nil); err == nil {
+		t.Fatal("3 disk hits passed -min-disk-hits 4")
+	}
+	if err := assert(options{minHitRate: -1, minDiskHits: -1, minSpeedup: 2}, rep, nil); err == nil {
+		t.Fatal("-min-speedup without fleet phases must fail")
+	}
+	fleet := &FleetReport{FleetVsSingleSpeedup: 2.5}
+	if err := assert(options{minHitRate: -1, minDiskHits: -1, minSpeedup: 2}, rep, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if err := assert(options{minHitRate: -1, minDiskHits: -1, minSpeedup: 3}, rep, fleet); err == nil {
+		t.Fatal("speedup 2.5 passed -min-speedup 3")
+	}
+}

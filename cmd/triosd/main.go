@@ -9,9 +9,15 @@
 // SIGINT/SIGTERM drains gracefully: in-flight compiles finish (up to
 // -grace), new work is refused with 503.
 //
+// With -store-dir the in-memory cache is backed by a disk-based,
+// content-addressed artifact store: cold compiles are written through and a
+// restarted daemon serves a previously-seen mix warm (X-Trios-Cache:
+// hit-disk), with bodies byte-identical to the cold compiles that populated
+// the store.
+//
 // Usage:
 //
-//	triosd -addr :8421 -workers 4 -queue 64 -cache 512
+//	triosd -addr :8421 -workers 4 -queue 64 -cache 512 -store-dir /var/lib/triosd
 //	curl -s localhost:8421/healthz
 //	curl -s localhost:8421/v1/calibrations
 //	curl -s -X POST localhost:8421/v1/compile -d '{"benchmark":"grovers-9","pipeline":"trios","calibration":"johannesburg-0819"}'
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"trios/internal/service"
+	"trios/internal/store"
 	"trios/internal/version"
 )
 
@@ -58,12 +65,14 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("triosd", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", ":8421", "listen address")
-		workers     = fs.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
-		queue       = fs.Int("queue", 64, "admission queue depth; overflow is shed with 429")
-		cacheSize   = fs.Int("cache", 512, "compile cache capacity in artifacts")
-		grace       = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
-		showVersion = fs.Bool("version", false, "print build version and exit")
+		addr          = fs.String("addr", ":8421", "listen address")
+		workers       = fs.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
+		queue         = fs.Int("queue", 64, "admission queue depth; overflow is shed with 429")
+		cacheSize     = fs.Int("cache", 512, "compile cache capacity in artifacts")
+		storeDir      = fs.String("store-dir", "", "persistent artifact store directory ('' = memory-only; restarts are cold)")
+		storeMaxBytes = fs.Int64("store-max-bytes", store.DefaultMaxBytes, "artifact store byte budget; LRU entries beyond it are evicted")
+		grace         = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
+		showVersion   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,11 +84,22 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		fmt.Fprintln(out, version.Get())
 		return nil
 	}
-	return serve(ctx, *addr, *workers, *queue, *cacheSize, *grace, ready)
+	return serve(ctx, *addr, *workers, *queue, *cacheSize, *storeDir, *storeMaxBytes, *grace, ready)
 }
 
-func serve(ctx context.Context, addr string, workers, queue, cacheSize int, grace time.Duration, ready func(net.Addr)) error {
-	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize})
+func serve(ctx context.Context, addr string, workers, queue, cacheSize int, storeDir string, storeMaxBytes int64, grace time.Duration, ready func(net.Addr)) error {
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir, storeMaxBytes)
+		if err != nil {
+			return err
+		}
+		stats := st.Stats()
+		log.Printf("triosd artifact store %s: %d entries, %d bytes (rebuilt=%v)", storeDir, stats.Entries, stats.Bytes, stats.Rebuilt)
+		defer st.Close() // persist the recency index on every exit path
+	}
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize, Store: st})
 	srv := &http.Server{
 		Handler: svc.Handler(),
 		// Bound what a slow or stalled client can pin: headers must arrive

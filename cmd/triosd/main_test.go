@@ -45,6 +45,130 @@ func TestRunBadAddr(t *testing.T) {
 	}
 }
 
+// startDaemon boots the daemon with the given extra flags on an ephemeral
+// port and returns its base URL plus a shutdown func that cancels and waits
+// for the graceful drain.
+func startDaemon(t *testing.T, extra ...string) (base string, shutdown func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-grace", "10s"}, extra...)
+	go func() {
+		done <- run(ctx, args, io.Discard, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return base, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("graceful drain returned %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("daemon did not drain after cancel")
+		}
+	}
+}
+
+// postCompile sends one compile request and returns the response body and
+// the X-Trios-Cache outcome header.
+func postCompile(t *testing.T, base, reqBody string) (body []byte, outcome string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/compile status %d: %s", resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Trios-Cache")
+}
+
+// TestRestartWarmFromStoreDir is the restart-warm acceptance test: a daemon
+// restarted against a populated -store-dir serves a repeated mix with >= 90%
+// cache hit rate and bodies byte-identical to the cold compiles.
+func TestRestartWarmFromStoreDir(t *testing.T) {
+	storeDir := t.TempDir()
+	mix := []string{
+		`{"benchmark":"cnx_dirty-11","pipeline":"trios"}`,
+		`{"benchmark":"grovers-9","pipeline":"baseline"}`,
+		`{"benchmark":"bv-20","topology":"line","pipeline":"trios"}`,
+		`{"benchmark":"qaoa_complete-10","pipeline":"trios","seed":4}`,
+	}
+
+	base, shutdown := startDaemon(t, "-store-dir", storeDir)
+	coldBodies := make([][]byte, len(mix))
+	for i, req := range mix {
+		body, outcome := postCompile(t, base, req)
+		if outcome != "miss" {
+			t.Fatalf("cold request %d outcome %q, want miss", i, outcome)
+		}
+		coldBodies[i] = body
+	}
+	shutdown() // graceful drain flushes the write-behind queue and the index
+
+	// Restart against the same store directory and replay the mix repeatedly.
+	base, shutdown = startDaemon(t, "-store-dir", storeDir)
+	defer shutdown()
+	const rounds = 5
+	hits, total := 0, 0
+	for r := 0; r < rounds; r++ {
+		for i, req := range mix {
+			body, outcome := postCompile(t, base, req)
+			total++
+			switch outcome {
+			case "hit-disk":
+				if r != 0 {
+					t.Fatalf("round %d request %d still reading disk; promotion failed", r, i)
+				}
+				hits++
+			case "hit":
+				hits++
+			default:
+				t.Logf("round %d request %d outcome %q", r, i, outcome)
+			}
+			if !bytes.Equal(body, coldBodies[i]) {
+				t.Fatalf("restart-warm body for request %d differs from its cold compile", i)
+			}
+		}
+	}
+	if rate := float64(hits) / float64(total); rate < 0.9 {
+		t.Fatalf("restart-warm hit rate %.2f, want >= 0.90", rate)
+	}
+
+	// The restarted daemon's health reports the store tier.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var health struct {
+		Store *struct {
+			Entries int    `json:"entries"`
+			Hits    uint64 `json:"hits"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Store == nil || health.Store.Entries < len(mix) || health.Store.Hits == 0 {
+		t.Fatalf("healthz store block looks wrong: %s", raw)
+	}
+}
+
 // TestDaemonSmoke boots the daemon on an ephemeral port, round-trips
 // /healthz, /v1/devices, /v1/calibrations, and one compile, then cancels the
 // context and expects a clean graceful drain.

@@ -1,0 +1,141 @@
+// Command triosfleet fronts a fleet of triosd replicas: it consistent-hashes
+// each compile's content-addressed cache key across the replicas, so every
+// replica's two-tier cache (in-memory LRU over its persistent artifact store)
+// serves a stable shard of the key space. Replica health is polled via
+// /healthz; draining replicas are routed around, and a replica that dies
+// mid-run is retried along the ring, so the fleet loses capacity rather than
+// availability.
+//
+// Usage:
+//
+//	triosfleet -addr :8420 -replicas http://127.0.0.1:8431,http://127.0.0.1:8432,http://127.0.0.1:8433
+//	curl -s localhost:8420/healthz          # fleet aggregate + per-replica status
+//	curl -s -X POST localhost:8420/v1/compile -d '{"benchmark":"grovers-9","pipeline":"trios"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"trios/internal/fleet"
+	"trios/internal/version"
+)
+
+// errFlagParse marks a flag error the FlagSet already reported to stderr;
+// main must not print it a second time.
+var errFlagParse = errors.New("invalid arguments")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2)
+		}
+		log.Fatalf("triosfleet: %v", err)
+	}
+}
+
+// parseReplicas turns a comma-separated URL list into named replicas; the
+// name is the host:port, which is what shows up in headers and metrics.
+func parseReplicas(spec string) ([]fleet.Replica, error) {
+	var out []fleet.Replica
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("replica %q is not a URL like http://host:port", raw)
+		}
+		out = append(out, fleet.Replica{Name: u.Host, URL: strings.TrimRight(raw, "/")})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-replicas must list at least one replica URL")
+	}
+	return out, nil
+}
+
+// run is the testable entry point, mirroring triosd: flags from args,
+// -version output to out, serve until ctx cancels, then drain. ready, when
+// non-nil, receives the bound listener address.
+func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("triosfleet", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", ":8420", "listen address")
+		replicasSpec   = fs.String("replicas", "", "comma-separated triosd base URLs (required)")
+		vnodes         = fs.Int("vnodes", fleet.DefaultVnodes, "hash-ring virtual nodes per replica")
+		healthInterval = fs.Duration("health-interval", 500*time.Millisecond, "replica /healthz poll interval")
+		grace          = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
+		showVersion    = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *showVersion {
+		fmt.Fprintln(out, version.Get())
+		return nil
+	}
+	replicas, err := parseReplicas(*replicasSpec)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+
+	proxy := fleet.NewProxy(replicas, fleet.Options{Vnodes: *vnodes, HealthInterval: *healthInterval})
+	healthCtx, stopHealth := context.WithCancel(ctx)
+	defer stopHealth()
+	go proxy.Run(healthCtx)
+
+	srv := &http.Server{
+		Handler:           proxy.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(replicas))
+	for i, r := range replicas {
+		names[i] = r.Name
+	}
+	log.Printf("triosfleet listening on %s (%s), %d replicas: %s",
+		ln.Addr(), version.Get(), len(replicas), strings.Join(names, " "))
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("triosfleet draining (deadline %s)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("triosfleet stopped")
+	return nil
+}

@@ -31,9 +31,13 @@ type CompileBenchRun struct {
 // pipeline) grid compiled serially and with the worker pool, plus the
 // aggregate per-pass wall-clock breakdown of the parallel run.
 type CompileBenchReport struct {
-	Seed       int64             `json:"seed"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Runs       []CompileBenchRun `json:"runs"`
+	Seed       int64 `json:"seed"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	// EffectiveWorkers is min(workers, GOMAXPROCS, jobs) — the parallelism
+	// the parallel drain actually had. A benchmark artifact from a throttled
+	// environment is identifiable from this field alone.
+	EffectiveWorkers int               `json:"effective_workers"`
+	Runs             []CompileBenchRun `json:"runs"`
 	// Speedup is serial wall-clock over parallel wall-clock. It is omitted
 	// (with SpeedupNote explaining why) when the parallel drain had only one
 	// effective worker — min(workers, GOMAXPROCS, jobs) <= 1 — because the
@@ -144,6 +148,7 @@ func RunCompileBench(workers int, seed int64) (*CompileBenchReport, error) {
 	if len(jobs) < effective {
 		effective = len(jobs)
 	}
+	report.EffectiveWorkers = effective
 	switch {
 	case effective <= 1:
 		report.SpeedupNote = fmt.Sprintf("parallel run had %d effective worker(s) (workers=%d, GOMAXPROCS=%d); speedup suppressed as meaningless", effective, workers, maxprocs)

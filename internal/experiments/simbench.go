@@ -34,9 +34,13 @@ type SimBenchRun struct {
 // trajectory backend, and a 20-qubit Clifford verification on the dense
 // baseline vs the stabilizer dispatch.
 type SimBenchReport struct {
-	Seed       int64         `json:"seed"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Runs       []SimBenchRun `json:"runs"`
+	Seed       int64 `json:"seed"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	// EffectiveWorkers is min(workers, GOMAXPROCS) — the parallelism the
+	// parallel arms actually had, recorded so a throttled run is identifiable
+	// from the artifact alone.
+	EffectiveWorkers int           `json:"effective_workers"`
+	Runs             []SimBenchRun `json:"runs"`
 	// KernelSpeedup is the serial legacy full-scan baseline over the serial
 	// fused kernels on the dense verification workload.
 	KernelSpeedup float64 `json:"kernel_speedup"`
@@ -193,6 +197,7 @@ func RunSimBench(workers int, seed int64) (*SimBenchReport, error) {
 	if maxprocs < effective {
 		effective = maxprocs
 	}
+	report.EffectiveWorkers = effective
 	if effective <= 1 {
 		report.ParallelSpeedupNote = fmt.Sprintf("parallel run had %d effective worker(s) (workers=%d, GOMAXPROCS=%d); speedup suppressed as meaningless", effective, workers, maxprocs)
 	} else if parSec > 0 {

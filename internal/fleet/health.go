@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Status is a replica's last-observed serving state.
+type Status int32
+
+const (
+	// StatusUnknown means no probe has completed yet; the replica is routable
+	// (optimistically) until proven otherwise.
+	StatusUnknown Status = iota
+	// StatusHealthy means the last /healthz probe returned 200.
+	StatusHealthy
+	// StatusDraining means the replica answered 503 with status "draining":
+	// it is finishing in-flight work and refusing new compiles, so the
+	// proxy routes new keys around it.
+	StatusDraining
+	// StatusDown means the probe (or a proxied request) failed at the
+	// transport level.
+	StatusDown
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusHealthy:
+		return "healthy"
+	case StatusDraining:
+		return "draining"
+	case StatusDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Routable reports whether new compiles should be sent to a replica in this
+// state. Unknown is routable so a freshly-started fleet serves before the
+// first poll completes; per-request transport failures demote it immediately.
+func (s Status) Routable() bool { return s == StatusHealthy || s == StatusUnknown }
+
+// HealthChecker polls each replica's /healthz and keeps a lock-free view of
+// fleet health for the routing hot path.
+type HealthChecker struct {
+	replicas []Replica
+	interval time.Duration
+	client   *http.Client
+
+	states []atomic.Int32
+
+	mu       sync.Mutex
+	lastErrs []string
+}
+
+// NewHealthChecker builds a checker; interval <= 0 defaults to 500ms.
+func NewHealthChecker(replicas []Replica, interval time.Duration) *HealthChecker {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return &HealthChecker{
+		replicas: replicas,
+		interval: interval,
+		client:   &http.Client{Timeout: 2 * time.Second},
+		states:   make([]atomic.Int32, len(replicas)),
+		lastErrs: make([]string, len(replicas)),
+	}
+}
+
+// Run polls until ctx is cancelled. The first sweep runs immediately so a
+// fleet that starts against live replicas converges to Healthy in one pass.
+func (h *HealthChecker) Run(ctx context.Context) {
+	ticker := time.NewTicker(h.interval)
+	defer ticker.Stop()
+	for {
+		h.sweep(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// sweep probes every replica once, in parallel (a down replica's connect
+// timeout must not delay the others' probes).
+func (h *HealthChecker) sweep(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range h.replicas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.probe(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (h *HealthChecker) probe(ctx context.Context, i int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.replicas[i].URL+"/healthz", nil)
+	if err != nil {
+		h.set(i, StatusDown, err.Error())
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown, not a verdict
+		}
+		h.set(i, StatusDown, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		h.set(i, StatusHealthy, "")
+	case body.Status == "draining" || resp.StatusCode == http.StatusServiceUnavailable:
+		h.set(i, StatusDraining, "")
+	default:
+		h.set(i, StatusDown, resp.Status)
+	}
+}
+
+func (h *HealthChecker) set(i int, s Status, errMsg string) {
+	h.states[i].Store(int32(s))
+	h.mu.Lock()
+	h.lastErrs[i] = errMsg
+	h.mu.Unlock()
+}
+
+// State returns replica i's last-observed status.
+func (h *HealthChecker) State(i int) Status { return Status(h.states[i].Load()) }
+
+// MarkDown demotes a replica immediately after a proxied request failed at
+// the transport level; the next successful poll promotes it back.
+func (h *HealthChecker) MarkDown(i int) { h.states[i].Store(int32(StatusDown)) }
+
+// ReplicaHealth is one replica's row in the fleet /healthz response.
+type ReplicaHealth struct {
+	Name   string `json:"name"`
+	URL    string `json:"url"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Snapshot returns the per-replica view plus the count of routable replicas.
+func (h *HealthChecker) Snapshot() ([]ReplicaHealth, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ReplicaHealth, len(h.replicas))
+	routable := 0
+	for i, rep := range h.replicas {
+		st := h.State(i)
+		if st.Routable() {
+			routable++
+		}
+		out[i] = ReplicaHealth{Name: rep.Name, URL: rep.URL, Status: st.String(), Error: h.lastErrs[i]}
+	}
+	return out, routable
+}

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"time"
 
 	"trios/internal/device"
+	"trios/internal/store"
 	"trios/internal/topo"
 	"trios/internal/version"
 )
@@ -172,27 +174,55 @@ func (s *Service) handleCalibrations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// healthBody is the /healthz response.
+// healthBody is the /healthz response. Workers and GOMAXPROCS expose the
+// daemon's real parallelism so harnesses can record the effective worker
+// count in their benchmark artifacts instead of guessing.
 type healthBody struct {
-	Status  string       `json:"status"`
-	Build   version.Info `json:"build"`
-	Uptime  float64      `json:"uptime_seconds"`
-	InFlt   int64        `json:"in_flight"`
-	Queue   int          `json:"queue_depth"`
-	QueueCp int          `json:"queue_capacity"`
-	Cached  int          `json:"cache_entries"`
+	Status     string       `json:"status"`
+	Build      version.Info `json:"build"`
+	Uptime     float64      `json:"uptime_seconds"`
+	InFlt      int64        `json:"in_flight"`
+	Queue      int          `json:"queue_depth"`
+	QueueCp    int          `json:"queue_capacity"`
+	Cached     int          `json:"cache_entries"`
+	Workers    int          `json:"workers"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	// Store summarizes the persistent artifact tier; omitted when the daemon
+	// runs memory-only.
+	Store *storeHealth `json:"store,omitempty"`
+}
+
+// storeHealth is the /healthz view of the persistent artifact store.
+type storeHealth struct {
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Hits        uint64 `json:"hits"`
+	Quarantined uint64 `json:"quarantined"`
+	Rebuilt     bool   `json:"rebuilt"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	qlen, qcap := s.QueueStats()
 	body := healthBody{
-		Status:  "ok",
-		Build:   version.Get(),
-		Uptime:  time.Since(s.metrics.start).Seconds(),
-		InFlt:   s.metrics.inFlight.Load(),
-		Queue:   qlen,
-		QueueCp: qcap,
-		Cached:  s.cache.Len(),
+		Status:     "ok",
+		Build:      version.Get(),
+		Uptime:     time.Since(s.metrics.start).Seconds(),
+		InFlt:      s.metrics.inFlight.Load(),
+		Queue:      qlen,
+		QueueCp:    qcap,
+		Cached:     s.cache.Len(),
+		Workers:    s.workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		body.Store = &storeHealth{
+			Entries:     st.Entries,
+			Bytes:       st.Bytes,
+			Hits:        st.Hits,
+			Quarantined: st.Quarantined,
+			Rebuilt:     st.Rebuilt,
+		}
 	}
 	code := http.StatusOK
 	if s.Draining() {
@@ -205,5 +235,10 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	qlen, qcap := s.QueueStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.cache.Stats(), qlen, qcap)
+	var storeStats *store.Stats
+	if s.store != nil {
+		st := s.store.Stats()
+		storeStats = &st
+	}
+	s.metrics.write(w, s.cache.Stats(), storeStats, qlen, qcap)
 }

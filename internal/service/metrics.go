@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"trios/internal/store"
 )
 
 // defaultBuckets are latency histogram upper bounds in seconds, spanning
@@ -75,11 +77,13 @@ type metrics struct {
 	start    time.Time
 	inFlight atomic.Int64
 
-	mu       sync.Mutex
-	byCode   map[int]uint64    // HTTP responses by status code
-	outcomes map[string]uint64 // compile outcomes: hit | miss | coalesced
-	rejected uint64            // admission-control 429s
-	passHist map[string]*histogram
+	mu                sync.Mutex
+	byCode            map[int]uint64    // HTTP responses by status code
+	outcomes          map[string]uint64 // compile outcomes: hit | hit-disk | miss | coalesced
+	rejected          uint64            // admission-control 429s
+	storeWriteErrors  uint64            // write-behind Put failures
+	storeDecodeErrors uint64            // store bodies that failed to unmarshal
+	passHist          map[string]*histogram
 
 	compileHist *histogram // full compile wall-clock (cache misses only)
 	httpHist    *histogram // request wall-clock as the handler saw it
@@ -115,6 +119,18 @@ func (m *metrics) countRejected() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) countStoreWriteError() {
+	m.mu.Lock()
+	m.storeWriteErrors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) countStoreDecodeError() {
+	m.mu.Lock()
+	m.storeDecodeErrors++
+	m.mu.Unlock()
+}
+
 // observePasses records per-pass latencies from one cold compile. Cached
 // front-pass metrics are skipped: the pass did not run for this request.
 func (m *metrics) observePasses(a *Artifact) {
@@ -134,9 +150,10 @@ func (m *metrics) observePasses(a *Artifact) {
 }
 
 // write renders every counter in Prometheus text exposition format. The
-// cache and queue gauges come from the caller so the metrics type stays
-// decoupled from the service internals.
-func (m *metrics) write(w io.Writer, cache CacheStats, queueLen, queueCap int) {
+// cache, store, and queue gauges come from the caller so the metrics type
+// stays decoupled from the service internals; storeStats is nil when the
+// daemon runs without a persistent tier.
+func (m *metrics) write(w io.Writer, cache CacheStats, storeStats *store.Stats, queueLen, queueCap int) {
 	fmt.Fprintf(w, "# TYPE triosd_uptime_seconds gauge\ntriosd_uptime_seconds %g\n", time.Since(m.start).Seconds())
 	fmt.Fprintf(w, "# TYPE triosd_in_flight_requests gauge\ntriosd_in_flight_requests %d\n", m.inFlight.Load())
 	fmt.Fprintf(w, "# TYPE triosd_queue_depth gauge\ntriosd_queue_depth %d\n", queueLen)
@@ -178,6 +195,20 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueLen, queueCap int) {
 	fmt.Fprintf(w, "# TYPE triosd_cache_evictions_total counter\ntriosd_cache_evictions_total %d\n", cache.Evictions)
 	fmt.Fprintf(w, "# TYPE triosd_cache_entries gauge\ntriosd_cache_entries %d\n", cache.Entries)
 	fmt.Fprintf(w, "# TYPE triosd_cache_bytes gauge\ntriosd_cache_bytes %d\n", cache.Bytes)
+
+	if storeStats != nil {
+		fmt.Fprintf(w, "# TYPE triosd_store_hits_total counter\ntriosd_store_hits_total %d\n", storeStats.Hits)
+		fmt.Fprintf(w, "# TYPE triosd_store_misses_total counter\ntriosd_store_misses_total %d\n", storeStats.Misses)
+		fmt.Fprintf(w, "# TYPE triosd_store_puts_total counter\ntriosd_store_puts_total %d\n", storeStats.Puts)
+		fmt.Fprintf(w, "# TYPE triosd_store_evictions_total counter\ntriosd_store_evictions_total %d\n", storeStats.Evictions)
+		fmt.Fprintf(w, "# TYPE triosd_store_quarantined_total counter\ntriosd_store_quarantined_total %d\n", storeStats.Quarantined)
+		fmt.Fprintf(w, "# TYPE triosd_store_entries gauge\ntriosd_store_entries %d\n", storeStats.Entries)
+		fmt.Fprintf(w, "# TYPE triosd_store_bytes gauge\ntriosd_store_bytes %d\n", storeStats.Bytes)
+		m.mu.Lock()
+		fmt.Fprintf(w, "# TYPE triosd_store_write_errors_total counter\ntriosd_store_write_errors_total %d\n", m.storeWriteErrors)
+		fmt.Fprintf(w, "# TYPE triosd_store_decode_errors_total counter\ntriosd_store_decode_errors_total %d\n", m.storeDecodeErrors)
+		m.mu.Unlock()
+	}
 
 	fmt.Fprintf(w, "# TYPE triosd_http_seconds histogram\n")
 	m.httpHist.write(w, "triosd_http_seconds", "")

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"trios/internal/compiler"
 	"trios/internal/qasm"
+	"trios/internal/store"
 )
 
 // Config sizes the service.
@@ -22,6 +24,13 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the artifact LRU. Default 512.
 	CacheEntries int
+	// Store, when non-nil, backs the in-memory LRU with a persistent
+	// second tier: cold compiles are written through (write-behind, flushed
+	// on drain) and in-memory misses probe the store before compiling, so a
+	// restarted daemon serves a previously-seen mix warm. The service uses
+	// the store for the daemon's lifetime; closing it remains the opener's
+	// job, after Close returns.
+	Store *store.Store
 }
 
 var (
@@ -42,22 +51,34 @@ type CompileError struct{ Err error }
 func (e *CompileError) Error() string { return e.Err.Error() }
 func (e *CompileError) Unwrap() error { return e.Err }
 
-// Service is the compile-serving core: cache in front, singleflight behind
-// it, and a bounded queue into the compiler's persistent worker pool behind
-// that. One Service instance serves all requests of a daemon.
+// Service is the compile-serving core: in-memory cache in front, an optional
+// persistent artifact store behind it, singleflight behind that, and a
+// bounded queue into the compiler's persistent worker pool at the bottom.
+// One Service instance serves all requests of a daemon.
 type Service struct {
 	cfg     Config
 	cache   *Cache
 	flight  flightGroup
 	metrics *metrics
 	queue   chan compiler.Job
+	workers int // resolved worker count (cfg.Workers or GOMAXPROCS)
+
+	// Write-behind machinery for the persistent tier: cold compiles enqueue
+	// here and a single writer goroutine lands them on disk off the request
+	// path. Close stops the writer only after sweeping the queue dry, so a
+	// graceful drain hands every dirty entry to the store.
+	store      *store.Store
+	storeQueue chan *Artifact
+	storeStop  chan struct{}
+	storeDone  chan struct{}
 
 	mu      sync.Mutex
 	waiters map[string]chan compiler.JobResult
 
-	nextID   atomic.Uint64
-	closing  atomic.Bool
-	inflight sync.WaitGroup
+	nextID    atomic.Uint64
+	closing   atomic.Bool
+	closeOnce sync.Once
+	inflight  sync.WaitGroup
 
 	cancel  context.CancelFunc
 	drained chan struct{}
@@ -72,15 +93,27 @@ func New(cfg Config) *Service {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 512
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheEntries),
 		metrics: newMetrics(),
 		queue:   make(chan compiler.Job, cfg.QueueDepth),
+		workers: workers,
 		waiters: make(map[string]chan compiler.JobResult),
 		cancel:  cancel,
 		drained: make(chan struct{}),
+	}
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.storeQueue = make(chan *Artifact, 256)
+		s.storeStop = make(chan struct{})
+		s.storeDone = make(chan struct{})
+		go s.storeWriter()
 	}
 	pool := &compiler.Batch{Workers: cfg.Workers}
 	go s.dispatch(pool.Serve(ctx, s.queue))
@@ -111,16 +144,19 @@ func (s *Service) dispatch(out <-chan compiler.JobResult) {
 }
 
 // Compile serves one resolved request. outcome reports how: "hit" (served
-// from cache), "miss" (this call compiled), or "coalesced" (joined another
-// in-flight compile of the same key). Hits and coalesced calls return the
-// same Artifact pointer as the compile that produced it, so their Body bytes
-// are identical by construction.
+// from the in-memory cache), "hit-disk" (revived from the persistent store —
+// the restart-warm path), "miss" (this call compiled), or "coalesced"
+// (joined another in-flight compile of the same key). Hits and coalesced
+// calls return the same Artifact pointer as the compile that produced it, so
+// their Body bytes are identical by construction; disk hits serve the exact
+// bytes the original cold compile wrote, digest-verified by the store.
 func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, outcome string, err error) {
 	if a, ok := s.cache.Get(spec.Key); ok {
 		s.metrics.countOutcome("hit")
 		return a, "hit", nil
 	}
 	servedFromCache := false
+	servedFromStore := false
 	a, shared, err := s.flight.do(ctx, spec.Key, func() (*Artifact, error) {
 		// Re-check under the flight: a caller that missed the cache may have
 		// raced an identical compile that finished (and left the flight map)
@@ -131,6 +167,14 @@ func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, ou
 			servedFromCache = true
 			return a, nil
 		}
+		// Second tier: a verified body on disk beats a recompile. The revived
+		// artifact is promoted into the in-memory LRU so the next lookup is a
+		// plain hit.
+		if a, ok := s.storeGet(spec.Key); ok {
+			servedFromStore = true
+			s.cache.Add(spec.Key, a)
+			return a, nil
+		}
 		a, err := s.submit(spec)
 		if err != nil {
 			return nil, err
@@ -138,14 +182,16 @@ func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, ou
 		s.cache.Add(spec.Key, a)
 		return a, nil
 	})
-	// servedFromCache is only written by this call's own fn (never when
-	// shared), so reading it here is race-free.
+	// servedFromCache/servedFromStore are only written by this call's own fn
+	// (never when shared), so reading them here is race-free.
 	outcome = "miss"
 	switch {
 	case shared:
 		outcome = "coalesced"
 	case servedFromCache:
 		outcome = "hit"
+	case servedFromStore:
+		outcome = "hit-disk"
 	}
 	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
@@ -204,8 +250,84 @@ func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
 		return nil, err
 	}
 	s.metrics.observePasses(a)
+	// Enqueue the persistent write while still inside the inflight window:
+	// Close waits for inflight before sweeping the write-behind queue, so
+	// every successfully compiled artifact is on disk when a graceful drain
+	// returns.
+	s.storePut(a)
 	return a, nil
 }
+
+// storeGet probes the persistent tier and revives its pre-marshaled body
+// into a servable Artifact. The body is the JSON the original compile wrote,
+// so unmarshaling it reconstructs every artifact field and serving it stays
+// byte-identical to the cold compile.
+func (s *Service) storeGet(key string) (*Artifact, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	body, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	a := new(Artifact)
+	if err := json.Unmarshal(body, a); err != nil {
+		// Digest-verified bytes that fail to decode mean a schema break, not
+		// corruption; treat as a miss and let the recompile overwrite.
+		s.metrics.countStoreDecodeError()
+		return nil, false
+	}
+	a.Body = body
+	return a, true
+}
+
+// storePut hands a fresh artifact to the write-behind writer. A full queue
+// falls back to writing in the request path: disk backpressure on one cold
+// compile beats silently losing warm-restart data.
+func (s *Service) storePut(a *Artifact) {
+	if s.store == nil {
+		return
+	}
+	select {
+	case s.storeQueue <- a:
+	default:
+		s.writeThrough(a)
+	}
+}
+
+// storeWriter is the single write-behind goroutine: it lands cold compiles
+// on disk off the request path until told to stop, then sweeps the queue dry
+// so a graceful drain hands every dirty entry to the store.
+func (s *Service) storeWriter() {
+	defer close(s.storeDone)
+	for {
+		select {
+		case a := <-s.storeQueue:
+			s.writeThrough(a)
+		case <-s.storeStop:
+			for {
+				select {
+				case a := <-s.storeQueue:
+					s.writeThrough(a)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Service) writeThrough(a *Artifact) {
+	if err := s.store.Put(a.Key, a.Body); err != nil && !errors.Is(err, store.ErrClosed) {
+		s.metrics.countStoreWriteError()
+	}
+}
+
+// Store exposes the persistent tier (nil when the daemon runs memory-only).
+func (s *Service) Store() *store.Store { return s.store }
+
+// Workers returns the resolved compile-worker count.
+func (s *Service) Workers() int { return s.workers }
 
 // buildArtifact freezes one compile result into its cacheable wire form.
 func buildArtifact(spec *JobSpec, jr compiler.JobResult) (*Artifact, error) {
@@ -262,22 +384,31 @@ func (s *Service) QueueStats() (length, capacity int) {
 
 // Close drains the service: new work is refused with ErrDraining, in-flight
 // compilations finish (until ctx expires, at which point they are cancelled
-// at their next pass boundary), and the worker pool shuts down. Close
-// returns ctx.Err() if the drain deadline cut compilations short.
+// at their next pass boundary), the worker pool shuts down, and — when a
+// persistent store is attached — the write-behind queue is swept dry so
+// every compiled-but-unwritten artifact lands on disk before Close returns
+// (the graceful SIGTERM handoff). Close returns ctx.Err() if the drain
+// deadline cut compilations short.
 func (s *Service) Close(ctx context.Context) error {
-	s.closing.Store(true)
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
 	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		err = ctx.Err()
-	}
-	s.cancel() // stop the pool; aborts any still-running compiles
-	<-s.drained
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		done := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		s.cancel() // stop the pool; aborts any still-running compiles
+		<-s.drained
+		if s.store != nil {
+			close(s.storeStop)
+			<-s.storeDone
+		}
+	})
 	return err
 }

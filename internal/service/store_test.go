@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trios/internal/store"
+)
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func closeService(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartWarmFromStore pins the tentpole guarantee end to end at the
+// service layer: a fresh service over a store populated by a previous
+// service "restart" serves the same mix from disk — outcome hit-disk, bodies
+// byte-identical to the cold compiles — and promotes entries into the
+// in-memory tier so the second round is a plain hit.
+func TestRestartWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []CompileRequest{
+		{Benchmark: "cnx_dirty-11", Topology: "johannesburg", Pipeline: "trios", Seed: seedp(7)},
+		{Benchmark: "grovers-9", Topology: "grid", Pipeline: "baseline", Seed: seedp(7)},
+		{Benchmark: "bv-20", Topology: "line", Pipeline: "trios", Seed: seedp(3)},
+	}
+
+	st := openTestStore(t, dir)
+	first := New(Config{Workers: 2, Store: st})
+	coldBodies := make(map[string][]byte)
+	for _, req := range reqs {
+		spec := mustResolve(t, req)
+		art, outcome, err := first.Compile(context.Background(), spec)
+		if err != nil || outcome != "miss" {
+			t.Fatalf("cold compile: outcome=%q err=%v", outcome, err)
+		}
+		coldBodies[spec.Key] = append([]byte(nil), art.Body...)
+	}
+	closeService(t, first) // flushes write-behind
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new service and store over the same directory.
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	second := New(Config{Workers: 2, Store: st2})
+	defer closeService(t, second)
+	for _, req := range reqs {
+		spec := mustResolve(t, req)
+		art, outcome, err := second.Compile(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != "hit-disk" {
+			t.Fatalf("restart-warm outcome = %q, want hit-disk", outcome)
+		}
+		if !bytes.Equal(art.Body, coldBodies[spec.Key]) {
+			t.Fatalf("restart-warm body for %s differs from the cold compile", spec.Key[:18])
+		}
+		// Promoted into the in-memory tier: second lookup is a plain hit.
+		again, outcome, err := second.Compile(context.Background(), mustResolve(t, req))
+		if err != nil || outcome != "hit" {
+			t.Fatalf("post-promotion outcome = %q err=%v", outcome, err)
+		}
+		if !bytes.Equal(again.Body, coldBodies[spec.Key]) {
+			t.Fatal("promoted body differs")
+		}
+	}
+}
+
+// TestDrainFlushesDirtyEntries: every compile that succeeded before Close is
+// on disk when Close returns, even though writes are write-behind.
+func TestDrainFlushesDirtyEntries(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	defer st.Close()
+	s := New(Config{Workers: 2, Store: st})
+	spec := mustResolve(t, CompileRequest{Benchmark: "qft_adder-16", Topology: "grid", Seed: seedp(5)})
+	art, _, err := s.Compile(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeService(t, s)
+	body, ok := st.Get(spec.Key)
+	if !ok {
+		t.Fatal("drained service left the artifact off disk")
+	}
+	if !bytes.Equal(body, art.Body) {
+		t.Fatal("stored body differs from the served artifact")
+	}
+}
+
+// TestCorruptedStoreEntryRecompiles: a mangled on-disk body must never be
+// served — the store quarantines it and the service recompiles to an
+// identical artifact.
+func TestCorruptedStoreEntryRecompiles(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	s := New(Config{Workers: 1, Store: st})
+	spec := mustResolve(t, CompileRequest{Benchmark: "grovers-9", Topology: "johannesburg", Seed: seedp(2)})
+	cold, _, err := s.Compile(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeService(t, s)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the entry's last byte on disk.
+	var entryPath string
+	filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() {
+			entryPath = path
+		}
+		return nil
+	})
+	if entryPath == "" {
+		t.Fatal("no entry file found")
+	}
+	raw, err := os.ReadFile(entryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(entryPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	s2 := New(Config{Workers: 1, Store: st2})
+	defer closeService(t, s2)
+	art, outcome, err := s2.Compile(context.Background(), mustResolve(t, CompileRequest{Benchmark: "grovers-9", Topology: "johannesburg", Seed: seedp(2)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != "miss" {
+		t.Fatalf("corrupted entry served as %q, want a miss-and-recompile", outcome)
+	}
+	// A recompile carries its own timings, so bodies are not byte-comparable;
+	// the compiled program and its stats must be identical (determinism).
+	if art.QASM != cold.QASM || art.TwoQubitGates != cold.TwoQubitGates || art.Depth != cold.Depth {
+		t.Fatal("recompiled circuit differs from the original cold compile")
+	}
+	if st2.Stats().Quarantined == 0 {
+		t.Fatal("corrupted entry was not quarantined")
+	}
+}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry files are self-describing so the index is reconstructible from the
+// files alone:
+//
+//	trios-artifact v1
+//	key sha256:ab12...
+//	sha256 9f86...
+//	len 1234
+//	<blank line>
+//	<body bytes, exactly len of them>
+const entryMagic = "trios-artifact v1"
+
+// writeEntry atomically persists one entry file: temp sibling, sync, rename.
+// It returns the hex SHA-256 of body.
+func writeEntry(path, key string, body []byte) (string, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	hexSum := hex.EncodeToString(sum[:])
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s\nkey %s\nsha256 %s\nlen %d\n\n", entryMagic, key, hexSum, len(body))
+	buf.Write(body)
+
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return hexSum, nil
+}
+
+// readEntry reads and verifies one entry file end to end: magic, recorded
+// key, body length, and the SHA-256 of the body against both the header and
+// the index's expectation (wantSum may be "" when the caller has none, e.g.
+// during a rebuild scan).
+func readEntry(path, wantKey, wantSum string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	key, sum, body, err := parseEntry(raw)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	if wantKey != "" && key != wantKey {
+		return nil, fmt.Errorf("store: %s: recorded key %q does not match %q", filepath.Base(path), key, wantKey)
+	}
+	if wantSum != "" && sum != wantSum {
+		return nil, fmt.Errorf("store: %s: recorded digest differs from index", filepath.Base(path))
+	}
+	got := sha256.Sum256(body)
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("store: %s: body digest mismatch", filepath.Base(path))
+	}
+	return body, nil
+}
+
+// parseEntry splits a raw entry file into (key, bodySHA256, body).
+func parseEntry(raw []byte) (key, sum string, body []byte, err error) {
+	rest := raw
+	line := func() (string, bool) {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", false
+		}
+		l := string(rest[:i])
+		rest = rest[i+1:]
+		return l, true
+	}
+	magic, ok := line()
+	if !ok || magic != entryMagic {
+		return "", "", nil, fmt.Errorf("bad magic")
+	}
+	keyLine, ok := line()
+	if !ok || !strings.HasPrefix(keyLine, "key ") {
+		return "", "", nil, fmt.Errorf("bad key line")
+	}
+	key = keyLine[len("key "):]
+	sumLine, ok := line()
+	if !ok || !strings.HasPrefix(sumLine, "sha256 ") {
+		return "", "", nil, fmt.Errorf("bad digest line")
+	}
+	sum = sumLine[len("sha256 "):]
+	lenLine, ok := line()
+	if !ok || !strings.HasPrefix(lenLine, "len ") {
+		return "", "", nil, fmt.Errorf("bad length line")
+	}
+	n, err := strconv.Atoi(lenLine[len("len "):])
+	if err != nil || n < 0 {
+		return "", "", nil, fmt.Errorf("bad length")
+	}
+	blank, ok := line()
+	if !ok || blank != "" {
+		return "", "", nil, fmt.Errorf("bad header terminator")
+	}
+	if len(rest) != n {
+		return "", "", nil, fmt.Errorf("body is %d bytes, header says %d", len(rest), n)
+	}
+	return key, sum, rest, nil
+}
+
+// indexSnapshot is the on-disk recency index. It is a cache of the entry
+// files' metadata plus LRU ordering; the files remain the source of truth.
+type indexSnapshot struct {
+	Version int          `json:"version"`
+	Entries []indexEntry `json:"entries"`
+}
+
+type indexEntry struct {
+	Key    string `json:"key"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+	Used   uint64 `json:"used"`
+}
+
+// saveIndexLocked atomically rewrites the index snapshot. Best-effort: a
+// failed snapshot costs recency ordering on the next Open, never content.
+func (s *Store) saveIndexLocked() {
+	snap := indexSnapshot{Version: 1, Entries: make([]indexEntry, 0, s.ll.Len())}
+	for e := s.ll.Back(); e != nil; e = e.Prev() { // oldest first
+		ent := e.Value.(*entry)
+		snap.Entries = append(snap.Entries, indexEntry{Key: ent.key, Size: ent.size, SHA256: ent.sum, Used: ent.used})
+	}
+	raw, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.dir, indexFile)
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// load initializes the in-memory index: sweep interrupted writes, read the
+// snapshot, reconcile against the entry files actually on disk (files win),
+// and rebuild wholesale from a scan when the snapshot is missing or mangled.
+func (s *Store) load() error {
+	// Sweep temp files first: an interrupted write's partial bytes must never
+	// be mistaken for an entry.
+	onDisk, err := s.sweepAndList()
+	if err != nil {
+		return err
+	}
+
+	byKey := make(map[string]indexEntry)
+	raw, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	switch {
+	case err == nil:
+		var snap indexSnapshot
+		if jsonErr := json.Unmarshal(raw, &snap); jsonErr != nil || snap.Version != 1 {
+			s.rebuilt = true
+		} else {
+			for _, ie := range snap.Entries {
+				byKey[ie.Key] = ie
+			}
+		}
+	case os.IsNotExist(err):
+		if len(onDisk) > 0 {
+			s.rebuilt = true
+		}
+	default:
+		return fmt.Errorf("store: %w", err)
+	}
+
+	// Adopt every entry file present on disk. Indexed metadata supplies the
+	// digest and recency; unindexed files are read back through their own
+	// header (and quarantined if the header lies about the body).
+	type resident struct {
+		ent  *entry
+		used uint64
+	}
+	var residents []resident
+	for name, path := range onDisk {
+		var ent *entry
+		if ie, ok := lookupByName(byKey, name); ok {
+			ent = &entry{key: ie.Key, size: ie.Size, sum: ie.SHA256, used: ie.Used}
+		} else {
+			s.rebuilt = true
+			adopted, err := adoptEntry(path)
+			if err != nil {
+				// The file is not a valid entry: quarantine it rather than
+				// serving or deleting unknown bytes.
+				dst := filepath.Join(s.dir, quarantineDir, name+".quarantined")
+				if rerr := os.Rename(path, dst); rerr != nil {
+					_ = os.Remove(path)
+				}
+				s.quarantined++
+				continue
+			}
+			ent = adopted
+		}
+		residents = append(residents, resident{ent: ent, used: ent.used})
+	}
+	sort.Slice(residents, func(i, j int) bool {
+		if residents[i].used != residents[j].used {
+			return residents[i].used < residents[j].used
+		}
+		return residents[i].ent.key < residents[j].ent.key // deterministic tie-break
+	})
+	for _, r := range residents {
+		s.entries[r.ent.key] = s.ll.PushFront(r.ent)
+		s.bytes += r.ent.size
+		if r.ent.used > s.clock {
+			s.clock = r.ent.used
+		}
+	}
+	return nil
+}
+
+// lookupByName finds the index entry whose key maps to basename name.
+func lookupByName(byKey map[string]indexEntry, name string) (indexEntry, bool) {
+	// Content-addressed keys map to their hex directly; reconstruct and probe
+	// before falling back to a scan (which covers non-sha256 key shapes).
+	if ie, ok := byKey["sha256:"+name]; ok {
+		return ie, true
+	}
+	for _, ie := range byKey {
+		if fileName(ie.Key) == name {
+			return ie, true
+		}
+	}
+	return indexEntry{}, false
+}
+
+// adoptEntry reads an unindexed entry file, verifying its self-recorded
+// digest, and returns its metadata with the oldest possible recency.
+func adoptEntry(path string) (*entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	key, sum, body, err := parseEntry(raw)
+	if err != nil {
+		return nil, err
+	}
+	got := sha256.Sum256(body)
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("store: %s: body digest mismatch", filepath.Base(path))
+	}
+	if fileName(key) != filepath.Base(path) {
+		return nil, fmt.Errorf("store: %s: recorded key does not map to this file", filepath.Base(path))
+	}
+	return &entry{key: key, size: int64(len(body)), sum: sum}, nil
+}
+
+// sweepAndList removes temp files under objects/ and returns the surviving
+// entry files as basename -> full path.
+func (s *Store) sweepAndList() (map[string]string, error) {
+	onDisk := make(map[string]string)
+	root := filepath.Join(s.dir, objectsDir)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, tmpSuffix) {
+			return os.Remove(path)
+		}
+		onDisk[d.Name()] = path
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return onDisk, nil
+}

@@ -1,0 +1,200 @@
+#!/bin/sh
+# bench_fleet.sh — build triosd + triosfleet + loadgen, stand up a 3-replica
+# fleet (each replica with its own persistent artifact store) behind the
+# consistent-hash proxy, and measure four phases into BENCH_fleet.json:
+#
+#   single    proxy over 1 replica — the scaling baseline (same harness)
+#   fleet     proxy over 3 replicas
+#   degraded  one replica SIGKILLed mid-run; the fleet must keep serving
+#   warm      all replicas restarted against their stores; >=90% hit rate
+#             with disk-tier hits observed, and fleet/single throughput
+#             speedup asserted
+#
+# Each replica is pinned to GOMAXPROCS=1 so fleet scaling is visible even on
+# small CI runners; the proxy and loadgen inherit the caller's GOMAXPROCS.
+#
+# Environment knobs:
+#   GO                        go binary (default: go)
+#   TRIOSD_RACE               set to "-race" to race-instrument daemons
+#   FLEET_DURATION            load duration per phase (default: 5s)
+#   FLEET_CONCURRENCY         closed-loop workers (default: 16)
+#   FLEET_OUT                 report path (default: BENCH_fleet.json)
+#   FLEET_MIN_SPEEDUP         fleet-vs-single throughput floor (default: 1.5)
+#   FLEET_MIN_WARM_HIT_RATE   warm-restart hit-rate floor (default: 0.9)
+#   FLEET_REPLICA_GOMAXPROCS  per-replica GOMAXPROCS (default: 1)
+#   FLEET_HOLD                set to 1 to just run the fleet until ctrl-c
+#                             (for `make fleet`; no benchmark phases)
+set -eu
+
+GO=${GO:-go}
+RACE=${TRIOSD_RACE:-}
+DUR=${FLEET_DURATION:-5s}
+CONC=${FLEET_CONCURRENCY:-16}
+OUT=${FLEET_OUT:-BENCH_fleet.json}
+MIN_SPEEDUP=${FLEET_MIN_SPEEDUP:-1.5}
+MIN_WARM_HIT_RATE=${FLEET_MIN_WARM_HIT_RATE:-0.9}
+REPLICA_GOMAXPROCS=${FLEET_REPLICA_GOMAXPROCS:-1}
+HOLD=${FLEET_HOLD:-}
+
+HOST=127.0.0.1
+PROXY_ADDR=$HOST:8420
+SINGLE_ADDR=$HOST:8424
+R1_ADDR=$HOST:8431
+R2_ADDR=$HOST:8432
+R3_ADDR=$HOST:8433
+
+# The benchmark mix: cheap-to-compile circuits crossed with all three
+# pipelines and three seeds, giving 54 distinct cache keys. Key count is
+# what makes consistent-hash sharding fair — with only ~10 keys the busiest
+# replica can own half the traffic and cap fleet speedup at ~2x by
+# quantization alone, which would measure the hash ring's granularity, not
+# the fleet. Every loadgen invocation (warm-up and measured) uses the same
+# mix so the key set, and therefore each replica's shard, is stable.
+MIX=${FLEET_MIX:-cnx_inplace-4,incrementer_borrowedbit-5,grovers-9,qaoa_complete-10,cnx_dirty-11,bv-20}
+PIPES=${FLEET_PIPELINES:-baseline,trios,groups}
+SEEDS=${FLEET_SEEDS:-1,2,3}
+KEYS=$(($(echo "$MIX" | tr ',' '\n' | grep -c .) * $(echo "$PIPES" | tr ',' '\n' | grep -c .) * $(echo "$SEEDS" | tr ',' '\n' | grep -c .)))
+VNODES=${FLEET_VNODES:-512}
+
+# drive <addr> <extra...>: one loadgen invocation against addr with the
+# shared mix.
+drive() {
+    d_addr=$1
+    shift
+    "$bin/loadgen" -addr "$d_addr" -mix "$MIX" -pipelines "$PIPES" -seeds "$SEEDS" \
+        -concurrency "$CONC" "$@"
+}
+
+workdir=$(mktemp -d)
+bin=$workdir/bin
+r1_pid="" r2_pid="" r3_pid="" proxy_pid="" single_pid=""
+cleanup() {
+    for p in $r1_pid $r2_pid $r3_pid $proxy_pid $single_pid; do
+        kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+mkdir -p "$bin"
+# shellcheck disable=SC2086 # RACE is intentionally word-split ("-race" or empty)
+$GO build $RACE -o "$bin/triosd" ./cmd/triosd
+# shellcheck disable=SC2086
+$GO build $RACE -o "$bin/triosfleet" ./cmd/triosfleet
+$GO build -o "$bin/loadgen" ./cmd/loadgen
+
+# start_replica <n> <addr>: boot replica n against its persistent store dir,
+# pinned to REPLICA_GOMAXPROCS cores. The caller reads the pid from $! — the
+# job must be launched from this shell (not a command-substitution subshell)
+# so that `wait` can later observe its graceful exit.
+start_replica() {
+    GOMAXPROCS=$REPLICA_GOMAXPROCS "$bin/triosd" -addr "$2" \
+        -store-dir "$workdir/store-$1" -grace 10s >>"$workdir/replica-$1.log" 2>&1 &
+}
+
+# wait_up <base-url> <what>: poll /healthz until it answers 200.
+wait_up() {
+    i=0
+    while [ "$i" -lt 100 ]; do
+        if "$bin/loadgen" -addr "$1" -ping 2>/dev/null; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "bench_fleet: $2 did not become healthy at $1" >&2
+    exit 1
+}
+
+start_replica 1 "$R1_ADDR"
+r1_pid=$!
+start_replica 2 "$R2_ADDR"
+r2_pid=$!
+start_replica 3 "$R3_ADDR"
+r3_pid=$!
+wait_up "http://$R1_ADDR" "replica 1"
+wait_up "http://$R2_ADDR" "replica 2"
+wait_up "http://$R3_ADDR" "replica 3"
+
+"$bin/triosfleet" -addr "$PROXY_ADDR" -health-interval 200ms -vnodes "$VNODES" \
+    -replicas "http://$R1_ADDR,http://$R2_ADDR,http://$R3_ADDR" >>"$workdir/proxy.log" 2>&1 &
+proxy_pid=$!
+wait_up "http://$PROXY_ADDR" "fleet proxy"
+
+if [ -n "$HOLD" ]; then
+    echo "bench_fleet: fleet up — proxy http://$PROXY_ADDR, replicas http://$R1_ADDR http://$R2_ADDR http://$R3_ADDR (ctrl-c to stop)"
+    wait "$proxy_pid"
+    exit 0
+fi
+
+rm -f "$OUT"
+
+# Warm-up: compile every key once through each routing topology, so the
+# measured phases compare hit-serving capacity instead of cold-compile
+# scheduling. One round against the fleet proxy populates each replica's
+# shard; one round against the single-replica proxy populates replica 1
+# with the full key set (it serves everything in the baseline phase).
+"$bin/triosfleet" -addr "$SINGLE_ADDR" -health-interval 200ms -vnodes "$VNODES" \
+    -replicas "http://$R1_ADDR" >>"$workdir/single.log" 2>&1 &
+single_pid=$!
+wait_up "http://$SINGLE_ADDR" "single-replica proxy"
+echo "bench_fleet: warm-up ($KEYS keys x 2 topologies)"
+drive "http://$PROXY_ADDR" -requests "$KEYS" -duration 300s -out ""
+drive "http://$SINGLE_ADDR" -requests "$KEYS" -duration 300s -out ""
+
+# Phase 1 — single: the same proxy harness over exactly one replica, so the
+# fleet comparison varies only the replica count.
+echo "bench_fleet: phase single (1 replica)"
+drive "http://$SINGLE_ADDR" -duration "$DUR" -phase single -out "$OUT"
+kill "$single_pid" && wait "$single_pid"
+single_pid=""
+
+# Phase 2 — fleet: all three replicas behind the proxy.
+echo "bench_fleet: phase fleet (3 replicas)"
+drive "http://$PROXY_ADDR" -duration "$DUR" -phase fleet -out "$OUT"
+
+# Phase 3 — degraded: SIGKILL replica 3 mid-run. The proxy must absorb the
+# loss (mark it down, retry along the ring) with the loadgen error budget
+# intact — loadgen exiting 0 IS the assertion.
+echo "bench_fleet: phase degraded (killing replica 3 mid-run)"
+drive "http://$PROXY_ADDR" -duration "$DUR" -phase degraded -out "$OUT" &
+lg_pid=$!
+sleep 1
+kill -9 "$r3_pid" 2>/dev/null || true
+wait "$r3_pid" || true
+r3_pid=""
+if ! wait "$lg_pid"; then
+    echo "bench_fleet: fleet stopped serving when a replica was killed" >&2
+    exit 1
+fi
+
+# Phase 4 — warm restart: drain the survivors gracefully (flushing their
+# write-behind queues), restart all three against the same store dirs, and
+# replay the mix. The fleet must serve it from the store tier: >=90% hit
+# rate with disk hits observed, bodies byte-identical (asserted by the
+# cmd/triosd restart-warm test in `make test`).
+echo "bench_fleet: phase warm (restarting all replicas against their stores)"
+kill -TERM "$r1_pid" && wait "$r1_pid"
+kill -TERM "$r2_pid" && wait "$r2_pid"
+start_replica 1 "$R1_ADDR"
+r1_pid=$!
+start_replica 2 "$R2_ADDR"
+r2_pid=$!
+start_replica 3 "$R3_ADDR"
+r3_pid=$!
+wait_up "http://$R1_ADDR" "replica 1 (restarted)"
+wait_up "http://$R2_ADDR" "replica 2 (restarted)"
+wait_up "http://$R3_ADDR" "replica 3 (restarted)"
+sleep 1 # let the proxy's health poll promote the restarted replicas
+
+drive "http://$PROXY_ADDR" -duration "$DUR" -phase warm -out "$OUT" \
+    -min-hit-rate "$MIN_WARM_HIT_RATE" -min-disk-hits 1 -min-speedup "$MIN_SPEEDUP"
+
+# Graceful fleet shutdown must complete on its own.
+kill -TERM "$proxy_pid" && wait "$proxy_pid"
+proxy_pid=""
+kill -TERM "$r1_pid" && wait "$r1_pid"
+kill -TERM "$r2_pid" && wait "$r2_pid"
+kill -TERM "$r3_pid" && wait "$r3_pid"
+r1_pid="" r2_pid="" r3_pid=""
+echo "bench_fleet: wrote $OUT"
