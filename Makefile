@@ -7,7 +7,7 @@ GO ?= go
 GOMAXPROCS ?= 4
 BENCH_ENV = GOMAXPROCS=$(GOMAXPROCS)
 
-.PHONY: all build test race bench bench-route bench-sim bench-noise bench-service bench-fleet fleet serve loadgen lint vet fmt fmt-check bench-json
+.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-service bench-fleet fleet serve loadgen lint vet fmt fmt-check bench-json
 
 all: build test
 
@@ -23,7 +23,7 @@ test:
 # cache/singleflight/admission machinery, the persistent artifact store, and
 # the fleet proxy's routing/health paths.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -48,6 +48,13 @@ bench-json:
 bench-sim:
 	$(BENCH_ENV) $(GO) run ./cmd/experiments -sim-bench BENCH_sim.json > BENCH_sim.txt
 	cat BENCH_sim.txt
+
+# Kernel micro-benchmark: the preserved legacy arms (branchy delta-scoring,
+# full-scan gate loops) vs the branch-free slab/kernel rewrites, old-vs-new
+# in one report. Writes BENCH_kernels.json and a BENCH_kernels.txt summary.
+bench-kernels:
+	$(BENCH_ENV) $(GO) run ./cmd/experiments -kernel-bench BENCH_kernels.json > BENCH_kernels.txt
+	cat BENCH_kernels.txt
 
 # Noise-aware sweep: the benchmark suite compiled under per-device
 # calibrations with the Uniform vs Noise cost models, evaluated on estimated

@@ -37,6 +37,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel compilation workers (0 = GOMAXPROCS)")
 		benchJSON   = flag.String("bench-json", "", "run only the compile-path benchmark and write its JSON report here (e.g. BENCH_compile.json)")
 		simJSON     = flag.String("sim-bench", "", "run only the simulation-engine benchmark and write its JSON report here (e.g. BENCH_sim.json); a text summary goes to stdout")
+		kernelJSON  = flag.String("kernel-bench", "", "run only the kernel micro-benchmark (legacy vs branch-free arms of the route delta-scoring and dense sweep hot loops) and write its JSON report here (e.g. BENCH_kernels.json); a text summary goes to stdout")
 		noiseJSON   = flag.String("noise-bench", "", "run only the noise-aware sweep (uniform vs noise cost model under per-device calibrations) and write its JSON report here (e.g. BENCH_noise.json); a text summary goes to stdout")
 		noiseShort  = flag.Bool("noise-short", false, "shrink the noise-aware sweep to a CI-sized subset of benchmarks and topologies")
 		mcShots     = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
@@ -72,6 +73,33 @@ func main() {
 		report.WriteText(os.Stdout)
 		if !report.Deterministic {
 			fmt.Fprintln(os.Stderr, "sim bench: parallel paths diverged from serial results")
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *kernelJSON != "" {
+		report, err := experiments.RunKernelBench(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*kernelJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.WriteText(os.Stdout)
+		if !report.Identical {
+			fmt.Fprintln(os.Stderr, "kernel bench: a branch-free arm diverged from its legacy arm")
 			os.Exit(1)
 		}
 		return

@@ -36,6 +36,10 @@ type SimBenchRun struct {
 type SimBenchReport struct {
 	Seed       int64 `json:"seed"`
 	GOMAXPROCS int   `json:"gomaxprocs"`
+	// NumCPU records the machine's core count so a floor-asserting CI job
+	// (or a human reading an artifact from a 1-core container) can tell a
+	// genuine parallel regression from a run that never had cores to use.
+	NumCPU int `json:"num_cpu"`
 	// EffectiveWorkers is min(workers, GOMAXPROCS) — the parallelism the
 	// parallel arms actually had, recorded so a throttled run is identifiable
 	// from the artifact alone.
@@ -117,7 +121,7 @@ func RunSimBench(workers int, seed int64) (*SimBenchReport, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	maxprocs := runtime.GOMAXPROCS(0)
-	report := &SimBenchReport{Seed: seed, GOMAXPROCS: maxprocs, Deterministic: true}
+	report := &SimBenchReport{Seed: seed, GOMAXPROCS: maxprocs, NumCPU: runtime.NumCPU(), Deterministic: true}
 	rng := rand.New(rand.NewSource(seed))
 
 	// --- Dense verification workload: 16 qubits, 400 gates, 3 trials. ---

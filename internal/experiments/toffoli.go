@@ -64,7 +64,7 @@ func TripletDistance(g *topo.Graph, t [3]int) int {
 		d := g.Distances(t[i])
 		sum := 0
 		for j := 0; j < 3; j++ {
-			sum += d[t[j]]
+			sum += int(d[t[j]])
 		}
 		if sum < best {
 			best = sum

@@ -77,7 +77,7 @@ func (s *state) routeGroup(vs []int) error {
 			if d[q] < 0 {
 				return fmt.Errorf("physical qubits %d and %d are disconnected", p, q)
 			}
-			sum += d[q]
+			sum += int(d[q])
 		}
 		if sum < bestSum {
 			bestIdx, bestSum = i, sum

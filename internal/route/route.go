@@ -48,7 +48,7 @@ type state struct {
 	worc *topo.WeightedOracle
 	// prefer is the tie-break hook handed to the distance oracle's path walk;
 	// hoisted here so path() does not allocate a closure per query.
-	prefer func(cands []int) int
+	prefer func(cands []int32) int
 	// pathBuf backs path and bfsAvoid results; valid until the next call.
 	pathBuf []int
 	// scratch buffers sized to the device, reused by routers' inner loops.
@@ -76,7 +76,7 @@ func newState(g *topo.Graph, initial *layout.Layout, seed int64, weight func(a, 
 		prevBuf:  make([]int, n),
 		avoidBuf: make([]bool, n),
 	}
-	s.prefer = func(cands []int) int { return s.rng.Intn(len(cands)) }
+	s.prefer = func(cands []int32) int { return s.rng.Intn(len(cands)) }
 	return s, nil
 }
 

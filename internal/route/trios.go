@@ -123,7 +123,7 @@ func (s *state) routeTrioRole(v0, v1, v2, targetV int) error {
 				if d[ps[j]] < 0 {
 					return fmt.Errorf("physical qubits %d and %d are disconnected", ps[i], ps[j])
 				}
-				sum += d[ps[j]]
+				sum += int(d[ps[j]])
 			}
 			if sum < bestSum {
 				bestIdx, bestSum = i, sum

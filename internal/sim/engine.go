@@ -63,12 +63,12 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// workers resolves the effective worker count.
+// workers resolves the effective worker count: Workers clamped to
+// GOMAXPROCS, or GOMAXPROCS when unset. A GOMAXPROCS=1 process therefore
+// always resolves to 1 and takes the serial fast paths, whatever the
+// configured Workers.
 func (e *Engine) workers() int {
-	if e.Workers > 0 {
-		return e.Workers
-	}
-	return defaultWorkers()
+	return clampWorkers(e.Workers)
 }
 
 // Verdict reports an equivalence check and the backend that produced it.

@@ -30,6 +30,7 @@ const (
 	opCtrl
 	opPhase
 	opSwap
+	opMat4
 )
 
 // fusedOp is one amplitude sweep: a (possibly fused) single-qubit matrix, a
@@ -37,11 +38,12 @@ const (
 type fusedOp struct {
 	kind  opKind
 	m     gatemat.Mat2
+	m4    *mat4      // opMat4 block (see fuse4.go)
 	q     int        // opMat2 qubit
 	masks []uint64   // insert masks for the compact counter
 	cmask uint64     // opCtrl: OR of control bits; opPhase: full mask
-	abit  uint64     // opCtrl: target bit; opSwap: a bit
-	bbit  uint64     // opSwap: b bit
+	abit  uint64     // opCtrl: target bit; opSwap: a bit; opMat4: low bit
+	bbit  uint64     // opSwap: b bit; opMat4: high bit
 	iters uint64     // compact iteration count for an n-qubit register
 	phase complex128 // opPhase
 }
@@ -49,8 +51,9 @@ type fusedOp struct {
 // FusedProgram is a circuit compiled to fused kernels for a fixed register
 // size.
 type FusedProgram struct {
-	n   int
-	ops []fusedOp
+	n        int
+	ops      []fusedOp
+	maxIters uint64 // largest compact range of any op; gates pool creation in Run
 }
 
 // NumOps returns the number of fused amplitude sweeps; the unfused gate
@@ -170,36 +173,78 @@ func Fuse(c *circuit.Circuit, n int) (*FusedProgram, error) {
 	for q := 0; q < n; q++ {
 		flush(q)
 	}
+	p.ops = fuseBlocks(p.ops, n)
+	for i := range p.ops {
+		if p.ops[i].iters > p.maxIters {
+			p.maxIters = p.ops[i].iters
+		}
+	}
 	return p, nil
 }
 
-// Run applies the program to a state, splitting every sweep's compact range
-// across up to `workers` goroutines (<= 1 means serial). Chunk boundaries
-// depend only on the range length, and chunks touch disjoint amplitudes, so
-// the resulting state is bit-identical for any worker count.
+// runFusedOpRange applies one op over a sub-range of its compact counter:
+// the serial dispatch for ops below the parallel crossover, and the unit
+// the forced-parallel bit-identity test drives directly.
+func runFusedOpRange(s *State, op *fusedOp, lo, hi uint64) {
+	switch op.kind {
+	case opMat2:
+		mat2Range(s.amp, op.m, op.q, lo, hi)
+	case opCtrl:
+		ctrlMat2Range(s.amp, op.m, op.masks, op.cmask, op.abit, lo, hi)
+	case opPhase:
+		phaseRange(s.amp, op.phase, op.masks, op.cmask, lo, hi)
+	case opSwap:
+		swapRange(s.amp, op.masks, op.abit, op.bbit, lo, hi)
+	case opMat4:
+		mat4Range(s.amp, op.m4, op.masks, op.abit, op.bbit, lo, hi)
+	}
+}
+
+// Run applies the program to a state, splitting every large sweep's compact
+// range across up to `workers` lanes (resolved against GOMAXPROCS; <= 1
+// means serial). Worker goroutines are created once per Run and reused for
+// every sweep — and only when at least one op's range clears the parallel
+// crossover, so small programs and single-lane processes never pay for a
+// pool. Chunk boundaries depend only on the range length and lane count,
+// and chunks touch disjoint amplitudes, so the resulting state is
+// bit-identical for any worker count.
 func (p *FusedProgram) Run(s *State, workers int) error {
 	if s.n != p.n {
 		return fmt.Errorf("sim: program compiled for %d qubits, state has %d", p.n, s.n)
 	}
+	workers = clampWorkers(workers)
+	var pool *sweepPool
+	if workers > 1 && p.maxIters >= minParallelRange {
+		pool = newSweepPool(workers)
+		defer pool.close()
+	}
 	amp := s.amp
 	for i := range p.ops {
 		op := &p.ops[i]
+		if pool == nil || op.iters < minParallelRange {
+			runFusedOpRange(s, op, 0, op.iters)
+			continue
+		}
 		switch op.kind {
 		case opMat2:
-			parRange(workers, op.iters, func(lo, hi uint64) {
+			pool.sweep(op.iters, func(lo, hi uint64) {
 				mat2Range(amp, op.m, op.q, lo, hi)
 			})
 		case opCtrl:
-			parRange(workers, op.iters, func(lo, hi uint64) {
+			pool.sweep(op.iters, func(lo, hi uint64) {
 				ctrlMat2Range(amp, op.m, op.masks, op.cmask, op.abit, lo, hi)
 			})
 		case opPhase:
-			parRange(workers, op.iters, func(lo, hi uint64) {
+			pool.sweep(op.iters, func(lo, hi uint64) {
 				phaseRange(amp, op.phase, op.masks, op.cmask, lo, hi)
 			})
 		case opSwap:
-			parRange(workers, op.iters, func(lo, hi uint64) {
+			pool.sweep(op.iters, func(lo, hi uint64) {
 				swapRange(amp, op.masks, op.abit, op.bbit, lo, hi)
+			})
+		case opMat4:
+			pool.sweep(op.iters, func(lo, hi uint64) {
+				mat4Range(amp, op.m4, op.masks, op.abit, op.bbit, lo, hi)
 			})
 		}
 	}

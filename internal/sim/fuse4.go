@@ -1,0 +1,225 @@
+// Two-qubit block fusion: a second pass over the fused op list that merges
+// clusters of sweeps acting on a common qubit pair into one 4x4 sweep.
+//
+// After the 1q-run pass in Fuse, the op list for a dense circuit is still
+// dominated by full-register 2x2 sweeps: the register is streamed once per
+// surviving single-qubit matrix. Any ops confined to a common qubit pair
+// compose exactly as 4x4 matrices, and one mat4Range sweep streams the
+// register once while doing the work of the whole cluster. Only the
+// clearly-winning cluster is formed: a two-qubit entangler (controlled-1q,
+// swap, or two-bit phase) that absorbs the deferred single-qubit matrices
+// on BOTH of its qubits, turning three sweeps into one. Weaker merges were
+// measured and rejected — a 4x4 sweep costs ~2x a 2x2 sweep in arithmetic
+// (16 vs 4 multiply-adds per 4 amplitudes), so kron-pairing two lone 1q
+// matrices or absorbing just one trades a register pass for an equal or
+// larger compute bill on compute-bound cache-resident registers.
+//
+// Deferring a 1q op past ops on disjoint qubits commutes exactly as linear
+// operators; only the float rounding order changes, which is why the fused
+// engine is verified by fidelity tolerance rather than bit identity. The
+// bit-identity contract that matters — any worker count reproduces the
+// serial sweep exactly — still holds: this pass is deterministic and runs
+// before the compact ranges are partitioned.
+package sim
+
+import (
+	"math/bits"
+
+	"trios/internal/gatemat"
+)
+
+// mat4 is a 4x4 matrix in row-major order over the basis index
+// v = x_hi<<1 | x_lo, where x_hi and x_lo are the amplitude-index bits at
+// the block's higher and lower qubit positions.
+type mat4 [16]complex128
+
+// mat4Mul returns a*b (b applied first).
+func mat4Mul(a, b *mat4) *mat4 {
+	var c mat4
+	for r := 0; r < 4; r++ {
+		for col := 0; col < 4; col++ {
+			var s complex128
+			for k := 0; k < 4; k++ {
+				s += a[r*4+k] * b[k*4+col]
+			}
+			c[r*4+col] = s
+		}
+	}
+	return &c
+}
+
+// kron2 returns hi ⊗ lo: the block applying `lo` to the lower-position
+// qubit and `hi` to the higher one.
+func kron2(hi, lo gatemat.Mat2) *mat4 {
+	var c mat4
+	for r := 0; r < 4; r++ {
+		for col := 0; col < 4; col++ {
+			c[r*4+col] = hi[(r>>1)*2+(col>>1)] * lo[(r&1)*2+(col&1)]
+		}
+	}
+	return &c
+}
+
+var ident2 = gatemat.Mat2{1, 0, 0, 1}
+
+// liftCtrl returns the 4x4 block for m applied to the target when the
+// control bit is 1; ctrlHi says whether the control sits at the block's
+// higher qubit position.
+func liftCtrl(m gatemat.Mat2, ctrlHi bool) *mat4 {
+	var c mat4
+	if ctrlHi {
+		// v = (ctrl, tgt): rows 0,1 identity; rows 2,3 apply m to the low bit.
+		c[0], c[5] = 1, 1
+		c[10], c[11] = m[0], m[1]
+		c[14], c[15] = m[2], m[3]
+	} else {
+		// v = (tgt, ctrl): only amplitudes with the low bit set (v=1,3) mix.
+		c[0], c[10] = 1, 1
+		c[5], c[7] = m[0], m[1]
+		c[13], c[15] = m[2], m[3]
+	}
+	return &c
+}
+
+// liftSwap is the qubit-exchange permutation (v=1 <-> v=2).
+func liftSwap() *mat4 {
+	var c mat4
+	c[0], c[6], c[9], c[15] = 1, 1, 1, 1
+	return &c
+}
+
+// liftPhase multiplies by phase exactly when both bits are set.
+func liftPhase(phase complex128) *mat4 {
+	var c mat4
+	c[0], c[5], c[10] = 1, 1, 1
+	c[15] = phase
+	return &c
+}
+
+// Relative sweep costs driving the absorption decision, in units of one
+// full-register 2x2 sweep. A 4x4 sweep streams the register once (like a
+// 2x2 sweep) at ~2x the arithmetic; the masked entangler kernels touch half
+// the register or less. An entangler is absorbed only when the sweeps it
+// replaces cost strictly more than the block.
+const (
+	costMat2  = 1.0
+	costCtrl1 = 0.6
+	costSwap  = 0.5
+	costPhase = 0.3
+	costMat4  = 2.0
+)
+
+// maskQubit recovers the bit position from an insert mask (mask == 2^p - 1).
+func maskQubit(mask uint64) int { return bits.OnesCount64(mask) }
+
+// pair2 describes a fusable two-qubit op: its block lift and base cost.
+func pair2(op *fusedOp) (m *mat4, cost float64, ok bool) {
+	switch op.kind {
+	case opCtrl:
+		if len(op.masks) != 2 {
+			return nil, 0, false
+		}
+		return liftCtrl(op.m, op.cmask > op.abit), costCtrl1, true
+	case opSwap:
+		return liftSwap(), costSwap, true
+	case opPhase:
+		if len(op.masks) != 2 {
+			return nil, 0, false
+		}
+		return liftPhase(op.phase), costPhase, true
+	}
+	return nil, 0, false
+}
+
+// fuseBlocks rewrites ops, deferring single-qubit sweeps and merging them
+// with two-qubit entanglers (or with each other) into 4x4 block sweeps
+// where the cost model says the merged sweep is cheaper.
+func fuseBlocks(ops []fusedOp, n int) []fusedOp {
+	if n < 2 {
+		return ops
+	}
+	out := make([]fusedOp, 0, len(ops))
+	// Deferred single-qubit matrices, at most one per qubit: the 1q-run
+	// pass already merged same-qubit neighbors, so a second deferral on a
+	// qubit cannot appear before an intervening op flushes the first.
+	def := make([]*gatemat.Mat2, n)
+	emitMat4 := func(m *mat4, lo, hi int) {
+		out = append(out, fusedOp{
+			kind: opMat4, m4: m,
+			masks: insertMasks([]int{lo, hi}),
+			abit:  1 << uint(lo),
+			bbit:  1 << uint(hi),
+			iters: uint64(1) << uint(n-2),
+		})
+	}
+	// flush1 emits the deferred matrix on q as a plain 2x2 sweep.
+	flush1 := func(q int) {
+		if def[q] == nil {
+			return
+		}
+		out = append(out, fusedOp{
+			kind: opMat2, m: *def[q], q: q,
+			iters: uint64(1) << uint(n-1),
+		})
+		def[q] = nil
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.kind == opMat2 {
+			if def[op.q] != nil {
+				// Cannot happen after the run pass, but stay correct.
+				f := op.m.Mul(*def[op.q])
+				def[op.q] = &f
+			} else {
+				def[op.q] = &op.m
+			}
+			continue
+		}
+		if m4, cost, ok := pair2(op); ok {
+			a, b := maskQubit(op.masks[0]), maskQubit(op.masks[1])
+			total := cost
+			if def[a] != nil {
+				total += costMat2
+			}
+			if def[b] != nil {
+				total += costMat2
+			}
+			if total > costMat4 {
+				mHi, mLo := ident2, ident2
+				if def[b] != nil {
+					mHi = *def[b]
+					def[b] = nil
+				}
+				if def[a] != nil {
+					mLo = *def[a]
+					def[a] = nil
+				}
+				emitMat4(mat4Mul(m4, kron2(mHi, mLo)), a, b)
+				continue
+			}
+		}
+		// Anything else: flush the deferred matrices on the qubits it
+		// touches, then emit it unchanged.
+		for _, q := range opQubits(op) {
+			flush1(q)
+		}
+		out = append(out, *op)
+	}
+	for q := 0; q < n; q++ {
+		flush1(q)
+	}
+	return out
+}
+
+// opQubits returns the qubit positions an op touches (for flush decisions).
+func opQubits(op *fusedOp) []int {
+	if op.kind == opMat2 {
+		return []int{op.q}
+	}
+	// Masked kernels and blocks: one inserted bit per touched qubit.
+	qs := make([]int, 0, len(op.masks))
+	for _, m := range op.masks {
+		qs = append(qs, maskQubit(m))
+	}
+	return qs
+}

@@ -83,21 +83,6 @@ func TestFusedParallelBitIdentical(t *testing.T) {
 	}
 }
 
-// runFusedOpRange applies one op over a sub-range, used by the forced
-// parallel test above.
-func runFusedOpRange(s *State, op *fusedOp, lo, hi uint64) {
-	switch op.kind {
-	case opMat2:
-		mat2Range(s.amp, op.m, op.q, lo, hi)
-	case opCtrl:
-		ctrlMat2Range(s.amp, op.m, op.masks, op.cmask, op.abit, lo, hi)
-	case opPhase:
-		phaseRange(s.amp, op.phase, op.masks, op.cmask, lo, hi)
-	case opSwap:
-		swapRange(s.amp, op.masks, op.abit, op.bbit, lo, hi)
-	}
-}
-
 func TestFuseCollapsesSingleQubitRuns(t *testing.T) {
 	c := circuit.New(2)
 	// Five 1q gates on qubit 0 and two on qubit 1 around one CX: the run
@@ -111,9 +96,25 @@ func TestFuseCollapsesSingleQubitRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// ops: fused(q0: H,T,S), fused(q1: H), CX, fused(q0: T,H), fused(q1: S).
-	if p.NumOps() != 5 {
-		t.Errorf("NumOps = %d, want 5", p.NumOps())
+	// The 1q-run pass fuses each maximal run per qubit; the block pass then
+	// absorbs both pre-CX runs into the CX's 4x4 lift:
+	// ops = block((HTS@0 ⊗ H@1) then CX), fused(q0: T,H), fused(q1: S).
+	if p.NumOps() != 3 {
+		t.Errorf("NumOps = %d, want 3", p.NumOps())
+	}
+}
+
+func TestFuseLeavesLoneEntanglerUnblocked(t *testing.T) {
+	// A CX with no absorbable neighbors must stay on the masked ctrl kernel:
+	// lifting it to a 4x4 sweep would touch twice the amplitudes.
+	c := circuit.New(3)
+	c.CX(0, 1).CX(1, 2).CX(0, 2)
+	p, err := Fuse(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() != 3 {
+		t.Errorf("NumOps = %d, want 3 (lone entanglers must not be lifted)", p.NumOps())
 	}
 }
 

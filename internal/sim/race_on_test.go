@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled gates the largest property-test register sizes: the race
+// detector multiplies statevector memory and sweep time by close to an
+// order of magnitude, so the 2^21+ amplitude cases only run without it.
+const raceEnabled = true

@@ -149,8 +149,16 @@ func (e *Engine) MonteCarlo(c *circuit.Circuit, noise PauliNoise, expect, expect
 		}
 	}
 	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go worker()
+	if workers == 1 {
+		// Serial fast path: run the single lane inline. Same atomic shot
+		// drain, same per-shot seeds, so the estimate is identical — just
+		// without a goroutine handoff per batch (GOMAXPROCS=1 replicas in
+		// the serving fleet hit this path on every request).
+		worker()
+	} else {
+		for i := 0; i < workers; i++ {
+			go worker()
+		}
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -42,7 +42,7 @@ func BenchmarkShortestPathOracle(b *testing.B) {
 	g := Johannesburg()
 	g.EnsureOracle()
 	rng := rand.New(rand.NewSource(1))
-	prefer := func(c []int) int { return rng.Intn(len(c)) }
+	prefer := func(c []int32) int { return rng.Intn(len(c)) }
 	buf := make([]int, 0, 32)
 	b.ReportAllocs()
 	b.ResetTimer()

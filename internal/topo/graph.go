@@ -22,6 +22,10 @@ type Graph struct {
 	n    int
 	adj  [][]int
 	edge map[[2]int]bool
+	// conn is a flat n*n adjacency matrix (index a*n+b): Connected is on the
+	// routers' per-candidate hot path, and a bounds-checked byte load beats
+	// hashing a map key there.
+	conn []bool
 
 	// Distance oracle, built once on first query (or via EnsureOracle).
 	once   sync.Once
@@ -39,6 +43,7 @@ func NewGraph(name string, n int) *Graph {
 		n:    n,
 		adj:  make([][]int, n),
 		edge: make(map[[2]int]bool),
+		conn: make([]bool, n*n),
 	}
 }
 
@@ -64,6 +69,8 @@ func (g *Graph) AddEdge(a, b int) {
 		return
 	}
 	g.edge[k] = true
+	g.conn[a*g.n+b] = true
+	g.conn[b*g.n+a] = true
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 }
@@ -77,8 +84,19 @@ func (g *Graph) NumQubits() int { return g.n }
 // NumEdges returns the number of couplings.
 func (g *Graph) NumEdges() int { return len(g.edge) }
 
-// Connected reports whether qubits a and b share a coupling.
-func (g *Graph) Connected(a, b int) bool { return g.edge[edgeKey(a, b)] }
+// Connected reports whether qubits a and b share a coupling. Out-of-range
+// arguments report false, matching the former map lookup.
+func (g *Graph) Connected(a, b int) bool {
+	if uint(a) >= uint(g.n) || uint(b) >= uint(g.n) {
+		return false
+	}
+	return g.conn[a*g.n+b]
+}
+
+// ConnectedLegacy is the seed's adjacency test — a hash-map probe on the
+// canonical edge key — preserved verbatim as the "old" arm of the route
+// kernel micro-benchmarks. Semantically identical to Connected.
+func (g *Graph) ConnectedLegacy(a, b int) bool { return g.edge[edgeKey(a, b)] }
 
 // Neighbors returns the qubits adjacent to q. The returned slice is shared;
 // callers must not modify it.

@@ -34,20 +34,36 @@ func registryDevices() []*Graph {
 	return gs
 }
 
+// row32 converts a shared int32 slab row to []int for comparison against the
+// legacy BFS tables.
+func row32(row []int32) []int {
+	out := make([]int, len(row))
+	for i, v := range row {
+		out[i] = int(v)
+	}
+	return out
+}
+
 func TestOracleDistancesMatchBFS(t *testing.T) {
 	for _, g := range registryDevices() {
 		want := g.AllPairsDistancesBFS()
-		got := g.AllPairsDistances()
-		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
-			t.Fatalf("%s: AllPairsDistances diverges from BFS\n got %v\nwant %v", g.Name(), got, want)
+		tab := g.DistTable()
+		if tab.NumQubits() != g.NumQubits() || len(tab.Slab()) != g.NumQubits()*g.NumQubits() {
+			t.Fatalf("%s: DistTable shape wrong", g.Name())
 		}
 		for src := 0; src < g.NumQubits(); src++ {
-			if !reflect.DeepEqual(g.Distances(src), want[src]) {
+			if !reflect.DeepEqual(row32(g.Distances(src)), want[src]) {
 				t.Fatalf("%s: Distances(%d) diverges from BFS", g.Name(), src)
+			}
+			if !reflect.DeepEqual(row32(tab.Row(src)), want[src]) {
+				t.Fatalf("%s: DistTable.Row(%d) diverges from BFS", g.Name(), src)
 			}
 			for dst := 0; dst < g.NumQubits(); dst++ {
 				if g.Dist(src, dst) != want[src][dst] {
 					t.Fatalf("%s: Dist(%d,%d)=%d, BFS %d", g.Name(), src, dst, g.Dist(src, dst), want[src][dst])
+				}
+				if tab.At(src, dst) != want[src][dst] {
+					t.Fatalf("%s: DistTable.At(%d,%d)=%d, BFS %d", g.Name(), src, dst, tab.At(src, dst), want[src][dst])
 				}
 			}
 		}
@@ -81,7 +97,7 @@ func TestOracleCandidateOrderMatchesBFS(t *testing.T) {
 				if len(got) == 0 && len(want) == 0 {
 					continue
 				}
-				if !reflect.DeepEqual(append([]int(nil), got...), want) {
+				if !reflect.DeepEqual(row32(got), want) {
 					t.Fatalf("%s: NextHopCandidates(%d,%d)=%v, legacy BFS order %v", g.Name(), src, dst, got, want)
 				}
 			}
@@ -101,8 +117,8 @@ func TestOracleTieBreakPathsMatchBFS(t *testing.T) {
 				rngO := rand.New(rand.NewSource(int64(src*1009 + dst)))
 				rngB := rand.New(rand.NewSource(int64(src*1009 + dst)))
 				var seenO, seenB [][]int
-				po := g.ShortestPathTieBreak(src, dst, func(cands []int) int {
-					seenO = append(seenO, append([]int(nil), cands...))
+				po := g.ShortestPathTieBreak(src, dst, func(cands []int32) int {
+					seenO = append(seenO, row32(cands))
 					return rngO.Intn(len(cands))
 				})
 				pb := g.ShortestPathTieBreakBFS(src, dst, func(cands []int) int {
@@ -209,11 +225,11 @@ func TestOraclePropertyRandomGraphs(t *testing.T) {
 		}
 		want := g.AllPairsDistancesBFS()
 		for src := 0; src < n; src++ {
-			if !reflect.DeepEqual(g.Distances(src), want[src]) {
+			if !reflect.DeepEqual(row32(g.Distances(src)), want[src]) {
 				t.Fatalf("trial %d: Distances(%d) diverges", trial, src)
 			}
 			for dst := 0; dst < n; dst++ {
-				got := append([]int(nil), g.NextHopCandidates(src, dst)...)
+				got := row32(g.NextHopCandidates(src, dst))
 				legacy := legacyCandidates(g, src, dst)
 				if len(got) != len(legacy) || (len(legacy) > 0 && !reflect.DeepEqual(got, legacy)) {
 					t.Fatalf("trial %d: candidates(%d,%d) %v != %v", trial, src, dst, got, legacy)
@@ -221,7 +237,7 @@ func TestOraclePropertyRandomGraphs(t *testing.T) {
 				seed := int64(trial*100000 + src*100 + dst)
 				rngO := rand.New(rand.NewSource(seed))
 				rngB := rand.New(rand.NewSource(seed))
-				po := g.ShortestPathTieBreak(src, dst, func(c []int) int { return rngO.Intn(len(c)) })
+				po := g.ShortestPathTieBreak(src, dst, func(c []int32) int { return rngO.Intn(len(c)) })
 				pb := g.ShortestPathTieBreakBFS(src, dst, func(c []int) int { return rngB.Intn(len(c)) })
 				if !reflect.DeepEqual(po, pb) {
 					t.Fatalf("trial %d: path(%d,%d) %v != %v", trial, src, dst, po, pb)
@@ -249,7 +265,7 @@ func TestConcurrentOracleBuild(t *testing.T) {
 					errs <- "dist mismatch under concurrency"
 					return
 				}
-				p := g.ShortestPathTieBreak(src, dst, func(c []int) int { return rng.Intn(len(c)) })
+				p := g.ShortestPathTieBreak(src, dst, func(c []int32) int { return rng.Intn(len(c)) })
 				if len(p) != want[src][dst]+1 {
 					errs <- "path length mismatch under concurrency"
 					return
@@ -277,4 +293,25 @@ func TestAddEdgeAfterOraclePanics(t *testing.T) {
 		}
 	}()
 	g.AddEdge(0, 2)
+}
+
+// TestOracleBuildAllocBudget pins the oracle build's allocation count: the
+// counting pass sizes the int32 candidate table exactly (no append growth)
+// and the per-row BFS reuses one queue buffer, so a 20-qubit build stays
+// within a fixed handful of allocations.
+func TestOracleBuildAllocBudget(t *testing.T) {
+	g := Johannesburg()
+	g.EnsureOracle() // freeze; measure the build alone below
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = buildOracle(g)
+	})
+	// struct + dist slab + candOff + queue + cand + edge list + sort.Slice
+	// internals. Headroom of a few on top of the measured count.
+	if allocs > 12 {
+		t.Fatalf("buildOracle allocated %v times, budget 12", allocs)
+	}
+	o := buildOracle(g)
+	if cap(o.cand) != len(o.cand) {
+		t.Fatalf("candidate table not exactly sized: len %d cap %d", len(o.cand), cap(o.cand))
+	}
 }

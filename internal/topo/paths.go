@@ -3,18 +3,13 @@ package topo
 import "math"
 
 // Distances returns the hop distances from src to every qubit (-1 when
-// unreachable) as a row of the precomputed distance oracle. The returned
-// slice is shared; callers must not modify it. (The legacy allocating BFS
-// survives as DistancesBFS for equivalence tests and benchmarks.)
-func (g *Graph) Distances(src int) []int {
-	return g.ensureOracle().dist[src]
-}
-
-// AllPairsDistances returns the full hop-distance matrix — the distance
-// oracle's table itself, built once per graph. The matrix is shared; callers
-// must not modify it.
-func (g *Graph) AllPairsDistances() [][]int {
-	return g.ensureOracle().dist
+// unreachable) as a row of the precomputed distance oracle's flat int32
+// slab. The returned slice is shared; callers must not modify it. (The
+// legacy allocating BFS survives as DistancesBFS for equivalence tests and
+// benchmarks.)
+func (g *Graph) Distances(src int) []int32 {
+	o := g.ensureOracle()
+	return o.dist[src*g.n : (src+1)*g.n]
 }
 
 // ShortestPath returns one shortest path from src to dst (inclusive of both),
@@ -36,15 +31,16 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 // sees identical candidate slices (shared; it must not modify them) and is
 // invoked the same number of times, so seeded tie-break streams are
 // bit-identical to the BFS implementation's.
-func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int) int) []int {
+func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int32) int) []int {
 	o := g.ensureOracle()
 	if src == dst {
 		return []int{src}
 	}
-	if o.dist[src][dst] < 0 {
+	d := o.dist[src*g.n+dst]
+	if d < 0 {
 		return nil
 	}
-	path := make([]int, 0, o.dist[src][dst]+1)
+	path := make([]int, 0, d+1)
 	path, _ = g.appendShortestPath(path, src, dst, prefer)
 	return path
 }
@@ -53,11 +49,11 @@ func (g *Graph) ShortestPathTieBreak(src, dst int, prefer func(cands []int) int)
 // onto buf, applying the same tie-break contract as ShortestPathTieBreak.
 // ok is false (and buf is returned unchanged) when dst is unreachable. It is
 // the allocation-free form the routers' scratch buffers use.
-func (g *Graph) ShortestPathAppend(buf []int, src, dst int, prefer func(cands []int) int) (path []int, ok bool) {
+func (g *Graph) ShortestPathAppend(buf []int, src, dst int, prefer func(cands []int32) int) (path []int, ok bool) {
 	if src == dst {
 		return append(buf, src), true
 	}
-	if g.ensureOracle().dist[src][dst] < 0 {
+	if g.ensureOracle().dist[src*g.n+dst] < 0 {
 		return buf, false
 	}
 	return g.appendShortestPath(buf, src, dst, prefer)
@@ -65,7 +61,7 @@ func (g *Graph) ShortestPathAppend(buf []int, src, dst int, prefer func(cands []
 
 // appendShortestPath walks the candidate table from src to dst. The caller
 // has already ruled out src == dst and unreachability.
-func (g *Graph) appendShortestPath(buf []int, src, dst int, prefer func(cands []int) int) ([]int, bool) {
+func (g *Graph) appendShortestPath(buf []int, src, dst int, prefer func(cands []int32) int) ([]int, bool) {
 	o := g.orc
 	buf = append(buf, src)
 	cur := src
@@ -81,8 +77,8 @@ func (g *Graph) appendShortestPath(buf []int, src, dst int, prefer func(cands []
 				}
 			}
 		}
-		buf = append(buf, next)
-		cur = next
+		buf = append(buf, int(next))
+		cur = int(next)
 	}
 	return buf, true
 }

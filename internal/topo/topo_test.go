@@ -128,7 +128,7 @@ func TestDistances(t *testing.T) {
 	g := Line(5)
 	d := g.Distances(0)
 	for i, want := range []int{0, 1, 2, 3, 4} {
-		if d[i] != want {
+		if int(d[i]) != want {
 			t.Errorf("d[%d] = %d, want %d", i, d[i], want)
 		}
 	}
@@ -142,15 +142,15 @@ func TestDistances(t *testing.T) {
 
 func TestAllPairsSymmetric(t *testing.T) {
 	g := Johannesburg()
-	d := g.AllPairsDistances()
+	d := g.DistTable()
 	for i := 0; i < 20; i++ {
 		for j := 0; j < 20; j++ {
-			if d[i][j] != d[j][i] {
+			if d.At(i, j) != d.At(j, i) {
 				t.Fatalf("asymmetric distance (%d,%d)", i, j)
 			}
 		}
 	}
-	if d[0][19] <= 0 {
+	if d.At(0, 19) <= 0 {
 		t.Error("distant qubits should have positive distance")
 	}
 }
@@ -158,12 +158,12 @@ func TestAllPairsSymmetric(t *testing.T) {
 func TestShortestPathValid(t *testing.T) {
 	gs := []*Graph{Johannesburg(), Grid5x4(), Line20(), Clusters5x4()}
 	for _, g := range gs {
-		d := g.AllPairsDistances()
+		d := g.DistTable()
 		for src := 0; src < g.NumQubits(); src += 3 {
 			for dst := 0; dst < g.NumQubits(); dst += 3 {
 				p := g.ShortestPath(src, dst)
-				if len(p) != d[src][dst]+1 {
-					t.Fatalf("%s: path %d->%d length %d, want %d", g.Name(), src, dst, len(p)-1, d[src][dst])
+				if len(p) != d.At(src, dst)+1 {
+					t.Fatalf("%s: path %d->%d length %d, want %d", g.Name(), src, dst, len(p)-1, d.At(src, dst))
 				}
 				if p[0] != src || p[len(p)-1] != dst {
 					t.Fatalf("%s: path endpoints wrong: %v", g.Name(), p)
@@ -181,7 +181,7 @@ func TestShortestPathValid(t *testing.T) {
 func TestShortestPathTieBreakHookUsed(t *testing.T) {
 	g := Grid(3, 3) // multiple shortest paths corner to corner
 	called := false
-	g.ShortestPathTieBreak(0, 8, func(cands []int) int {
+	g.ShortestPathTieBreak(0, 8, func(cands []int32) int {
 		called = true
 		return len(cands) - 1
 	})

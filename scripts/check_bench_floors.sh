@@ -1,0 +1,69 @@
+#!/bin/sh
+# Floor assertions for the simulation and kernel benchmark artifacts.
+#
+# PR 3's parallel engine shipped with CI that only checked parallel_speedup
+# was *present*, and a 0.79x regression sailed through. This script makes the
+# numbers load-bearing:
+#
+#   BENCH_sim.json     parallel_speedup >= SIM_MIN_SPEEDUP    (default 1.2)
+#   BENCH_kernels.json route_stochastic_speedup,
+#                      route_lookahead_speedup,
+#                      dense_sweep_speedup >= KERNEL_MIN_SPEEDUP (default 1.2)
+#                      and identical == true
+#
+# The parallel floor only applies on multi-core hosts: on a single-core
+# machine goroutines cannot run concurrently, so the speedup is ~1.0 by
+# physics, not by regression (the JSON records num_cpu so the skip is
+# auditable). Override the floors via the environment, e.g.
+# SIM_MIN_SPEEDUP=1.8 for a beefy dedicated runner.
+set -eu
+
+SIM_MIN_SPEEDUP="${SIM_MIN_SPEEDUP:-1.2}"
+KERNEL_MIN_SPEEDUP="${KERNEL_MIN_SPEEDUP:-1.2}"
+SIM_JSON="${1:-BENCH_sim.json}"
+KERNEL_JSON="${2:-BENCH_kernels.json}"
+
+python3 - "$SIM_JSON" "$KERNEL_JSON" "$SIM_MIN_SPEEDUP" "$KERNEL_MIN_SPEEDUP" <<'PY'
+import json
+import sys
+
+sim_path, kernel_path, sim_min, kernel_min = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), float(sys.argv[4]))
+failed = False
+
+
+def fail(msg):
+    global failed
+    failed = True
+    print(f"FLOOR FAIL: {msg}")
+
+
+sim = json.load(open(sim_path))
+cores = sim.get("num_cpu", 0)
+speedup = sim.get("parallel_speedup")
+if cores < 2:
+    print(f"{sim_path}: single-core host (num_cpu={cores}); "
+          f"parallel floor skipped, parallel_speedup={speedup}")
+elif speedup is None:
+    fail(f"{sim_path}: parallel_speedup missing on a {cores}-core host")
+elif speedup < sim_min:
+    fail(f"{sim_path}: parallel_speedup {speedup:.2f} < floor {sim_min}")
+else:
+    print(f"{sim_path}: parallel_speedup {speedup:.2f} >= {sim_min} ok "
+          f"({sim.get('effective_workers')} workers, {cores} cores)")
+
+kern = json.load(open(kernel_path))
+if not kern.get("identical", False):
+    fail(f"{kernel_path}: a new arm diverged from its legacy arm")
+for key in ("route_stochastic_speedup", "route_lookahead_speedup",
+            "dense_sweep_speedup"):
+    v = kern.get(key)
+    if v is None:
+        fail(f"{kernel_path}: {key} missing")
+    elif v < kernel_min:
+        fail(f"{kernel_path}: {key} {v:.2f} < floor {kernel_min}")
+    else:
+        print(f"{kernel_path}: {key} {v:.2f} >= {kernel_min} ok")
+
+sys.exit(1 if failed else 0)
+PY
