@@ -7,7 +7,7 @@ GO ?= go
 GOMAXPROCS ?= 4
 BENCH_ENV = GOMAXPROCS=$(GOMAXPROCS)
 
-.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-service bench-fleet fleet serve loadgen lint vet fmt fmt-check bench-json
+.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-optimize bench-service bench-fleet fleet serve loadgen lint vet fmt fmt-check bench-json fuzz-rewrite
 
 all: build test
 
@@ -23,7 +23,7 @@ test:
 # cache/singleflight/admission machinery, the persistent artifact store, and
 # the fleet proxy's routing/health paths.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/... ./internal/rewrite/... ./internal/template/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -63,6 +63,22 @@ bench-kernels:
 # shrinks it to the CI subset.
 bench-noise:
 	$(GO) run ./cmd/experiments -noise-bench BENCH_noise.json $(NOISE_BENCH_FLAGS)
+
+# Optimizer benchmark: legacy cancel loop vs the saturating rewrite engine
+# across the Table-1 grid (two-qubit counts old-vs-new, divergent cells
+# statevector-verified) plus template-warm cold-compile latency. Writes
+# BENCH_optimize.json and a BENCH_optimize.txt summary; exits nonzero if any
+# cell regresses vs legacy or a divergence fails equivalence.
+# OPT_BENCH_FLAGS=-opt-short shrinks it to the CI subset.
+bench-optimize:
+	$(BENCH_ENV) $(GO) run ./cmd/experiments -opt-bench BENCH_optimize.json $(OPT_BENCH_FLAGS) > BENCH_optimize.txt
+	cat BENCH_optimize.txt
+
+# Confluence fuzz: random rule-application orders (seeded pop orders) must
+# saturate to the same final gate counts. The smoke test runs in `make
+# test`; this target fuzzes beyond the checked-in corpus.
+fuzz-rewrite:
+	$(GO) test -run '^$$' -fuzz FuzzConfluence -fuzztime 30s ./internal/rewrite/
 
 # Run the compile daemon locally (ctrl-c drains gracefully).
 serve:

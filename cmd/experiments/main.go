@@ -40,6 +40,8 @@ func main() {
 		kernelJSON  = flag.String("kernel-bench", "", "run only the kernel micro-benchmark (legacy vs branch-free arms of the route delta-scoring and dense sweep hot loops) and write its JSON report here (e.g. BENCH_kernels.json); a text summary goes to stdout")
 		noiseJSON   = flag.String("noise-bench", "", "run only the noise-aware sweep (uniform vs noise cost model under per-device calibrations) and write its JSON report here (e.g. BENCH_noise.json); a text summary goes to stdout")
 		noiseShort  = flag.Bool("noise-short", false, "shrink the noise-aware sweep to a CI-sized subset of benchmarks and topologies")
+		optJSON     = flag.String("opt-bench", "", "run only the optimizer benchmark (legacy cancel loop vs saturating rewrite engine across the Table-1 grid, plus template-warm cold-compile latency) and write its JSON report here (e.g. BENCH_optimize.json); a text summary goes to stdout")
+		optShort    = flag.Bool("opt-short", false, "shrink the optimizer benchmark to a CI-sized subset of benchmarks and topologies")
 		mcShots     = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
 		mcTrips     = flag.Int("mc-triplets", 4, "random triplets for the mc-toffoli experiment")
 		showVersion = flag.Bool("version", false, "print build version and exit")
@@ -130,6 +132,40 @@ func main() {
 		}
 		if report.MeanNoise < report.MeanUniform {
 			fmt.Fprintln(os.Stderr, "noise bench: noise-aware mean success fell below the uniform control")
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *optJSON != "" {
+		report, err := experiments.RunOptBench(*optShort, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*optJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !report.EquivalenceOK {
+			fmt.Fprintln(os.Stderr, "opt bench: a divergent cell failed statevector equivalence")
+			os.Exit(1)
+		}
+		if report.SaturateWorse > 0 {
+			fmt.Fprintln(os.Stderr, "opt bench: the saturating engine regressed two-qubit counts vs legacy")
 			os.Exit(1)
 		}
 		return

@@ -34,11 +34,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"trios/internal/compiler"
 	"trios/internal/service"
 	"trios/internal/store"
+	"trios/internal/template"
+	"trios/internal/topo"
 	"trios/internal/version"
 )
 
@@ -71,6 +75,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		cacheSize     = fs.Int("cache", 512, "compile cache capacity in artifacts")
 		storeDir      = fs.String("store-dir", "", "persistent artifact store directory ('' = memory-only; restarts are cold)")
 		storeMaxBytes = fs.Int64("store-max-bytes", store.DefaultMaxBytes, "artifact store byte budget; LRU entries beyond it are evicted")
+		templates     = fs.Bool("templates", false, "precompile the template library at startup and serve or stitch matching requests from fragments")
+		templateWarm  = fs.String("template-warm", "johannesburg", "comma-separated topologies to warm template fragments for (with -templates)")
 		grace         = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
 		showVersion   = fs.Bool("version", false, "print build version and exit")
 	)
@@ -84,10 +90,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		fmt.Fprintln(out, version.Get())
 		return nil
 	}
-	return serve(ctx, *addr, *workers, *queue, *cacheSize, *storeDir, *storeMaxBytes, *grace, ready)
+	return serve(ctx, *addr, *workers, *queue, *cacheSize, *storeDir, *storeMaxBytes, *templates, *templateWarm, *grace, ready)
 }
 
-func serve(ctx context.Context, addr string, workers, queue, cacheSize int, storeDir string, storeMaxBytes int64, grace time.Duration, ready func(net.Addr)) error {
+func serve(ctx context.Context, addr string, workers, queue, cacheSize int, storeDir string, storeMaxBytes int64, templates bool, templateWarm string, grace time.Duration, ready func(net.Addr)) error {
 	var st *store.Store
 	if storeDir != "" {
 		var err error
@@ -99,7 +105,16 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 		log.Printf("triosd artifact store %s: %d entries, %d bytes (rebuilt=%v)", storeDir, stats.Entries, stats.Bytes, stats.Rebuilt)
 		defer st.Close() // persist the recency index on every exit path
 	}
-	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize, Store: st})
+	var tmpl *template.Store
+	if templates {
+		lib, err := template.DefaultLibrary()
+		if err != nil {
+			return err
+		}
+		tmpl = template.NewStore(lib)
+		log.Printf("triosd template library: %d templates (digest %.12s)", lib.Len(), lib.Digest())
+	}
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize, Store: st, Templates: tmpl})
 	srv := &http.Server{
 		Handler: svc.Handler(),
 		// Bound what a slow or stalled client can pin: headers must arrive
@@ -121,6 +136,11 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 		ln.Addr(), version.Get(), workers, queue, cacheSize)
 	if ready != nil {
 		ready(ln.Addr())
+	}
+	if tmpl != nil {
+		// Warm fragments off the serving path: requests that arrive before a
+		// fragment lands simply compile through the full pipeline (a miss).
+		go warmTemplates(ctx, tmpl, templateWarm)
 	}
 
 	serveErr := make(chan error, 1)
@@ -147,4 +167,43 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 	}
 	log.Printf("triosd stopped")
 	return nil
+}
+
+// warmTemplates precompiles the template library for each named topology
+// under the daemon's default request options — both the plain and the
+// -optimize variant, so requests at either setting hit warmed fragments.
+// Warmup runs in the background and quits quietly on shutdown.
+func warmTemplates(ctx context.Context, tmpl *template.Store, topos string) {
+	defs, err := service.DefaultCompileOptions()
+	if err != nil {
+		log.Printf("triosd template warmup: %v", err)
+		return
+	}
+	optimized := defs
+	optimized.Optimize = true
+	start := time.Now()
+	total := 0
+	for _, name := range strings.Split(topos, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		g, err := topo.ByName(name)
+		if err != nil {
+			log.Printf("triosd template warmup: %v", err)
+			continue
+		}
+		g.EnsureOracle()
+		for _, o := range []compiler.Options{defs, optimized} {
+			n, err := tmpl.Precompile(ctx, g, o)
+			total += n
+			if err != nil {
+				if ctx.Err() != nil {
+					return // shutting down mid-warmup; not an error
+				}
+				log.Printf("triosd template warmup %s: %v", name, err)
+			}
+		}
+	}
+	log.Printf("triosd template warmup done: %d fragments in %s", total, time.Since(start).Round(time.Millisecond))
 }

@@ -92,6 +92,33 @@ func (r RouterKind) String() string {
 	return "direct"
 }
 
+// OptimizerKind selects which gate-optimization engine the Optimize flag
+// runs. It only matters when Options.Optimize is true.
+type OptimizerKind int
+
+const (
+	// OptimizerSaturate is the default: the worklist rewrite engine
+	// (internal/rewrite) saturates a declarative rule table to a fixpoint —
+	// inverse cancellation across commuting windows, axis-family rotation
+	// merging with 2π normalization, CP/CZ canonicalization, SWAP and
+	// Toffoli absorptions, and Hadamard conjugations — in amortized
+	// O(gates·rules). It runs on the input, again on the routed circuit
+	// (adjacency-gated so rewrites never un-route), and on the lowered
+	// output interleaved with 1q consolidation.
+	OptimizerSaturate OptimizerKind = iota
+	// OptimizerLegacy is the pre-rewrite-engine golden arm: the quadratic
+	// rescan-and-recurse Cancel/CancelCommuting loop plus output
+	// consolidation, preserved bit-for-bit for regression comparison.
+	OptimizerLegacy
+)
+
+func (o OptimizerKind) String() string {
+	if o == OptimizerLegacy {
+		return "legacy"
+	}
+	return "saturate"
+}
+
 // Options configures a compilation.
 type Options struct {
 	Pipeline Pipeline
@@ -113,6 +140,10 @@ type Options struct {
 	// merging (§2.4), applied to the input and again to the compiled
 	// circuit where routing may have created adjacent inverse pairs.
 	Optimize bool
+	// Optimizer picks the optimization engine Optimize runs: the saturating
+	// rewrite engine (default) or the legacy cancel loop kept as a golden
+	// arm. Ignored when Optimize is false.
+	Optimizer OptimizerKind
 	// Calibration, when non-nil, is the device characterization driving the
 	// compile: unless CostModel overrides it, layout and routing weigh edges
 	// by the calibration's -log CNOT success rates, and the pipeline ends
@@ -129,6 +160,28 @@ type Options struct {
 	// weight(a, b). Such options have no CacheKey; prefer Calibration.
 	// Setting it together with CostModel is an error.
 	NoiseWeight func(a, b int) float64
+	// Templates, when non-nil, is consulted before the pipeline runs: a
+	// source holding precompiled fragments for this (input, device, option)
+	// combination can serve or stitch the result without paying the full
+	// pipeline (see internal/template). The library's content digest is part
+	// of CacheKey, so stitched artifacts can never alias full-pipeline ones
+	// compiled without the library.
+	Templates TemplateSource
+}
+
+// TemplateSource serves precompiled template fragments. The interface lives
+// in the compiler so the template package depends on the compiler, not the
+// other way around.
+type TemplateSource interface {
+	// Digest identifies the library content and fragment policy; it is
+	// folded into Options.CacheKey so artifact stores never alias stitched
+	// and unstitched compiles.
+	Digest() string
+	// Stitch attempts to produce the compiled result for input from
+	// precompiled fragments. The opts it receives have Templates already
+	// stripped (so fragment and suffix compiles cannot recurse). ok=false
+	// means no fragment applies and the caller runs the full pipeline.
+	Stitch(ctx context.Context, input *circuit.Circuit, g *topo.Graph, opts Options) (*Result, bool, error)
 }
 
 // costModel resolves the effective cost model: an explicit CostModel wins,

@@ -17,6 +17,7 @@ import (
 	"trios/internal/layout"
 	"trios/internal/noise"
 	"trios/internal/optimize"
+	"trios/internal/rewrite"
 	"trios/internal/route"
 	"trios/internal/sched"
 	"trios/internal/topo"
@@ -385,6 +386,56 @@ func OptimizeOutputPass() Pass {
 	})
 }
 
+// SaturateInputPass runs the worklist rewrite engine on the source circuit
+// before decomposition: cancellations, rotation merges, and structural
+// absorptions all apply at the logical level, where no routing constraint
+// limits which gates a rule may synthesize.
+func SaturateInputPass() Pass {
+	return NewPass("optimize:saturate-input", func(ctx *PassContext, c *circuit.Circuit) error {
+		out, _ := rewrite.Saturate(c, rewrite.Options{})
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// SaturateRoutedPass runs the rewrite engine on the routed circuit, before
+// basis lowering — the window where routing SWAPs, intact Toffolis, and
+// named Cliffords still exist, so SWAP absorption and CX/CZ conjugation can
+// shed two-qubit gates the post-lowering pass can no longer see. Rules that
+// synthesize a two-qubit gate on a new pair are gated by the coupling
+// graph's adjacency, so the circuit stays routed.
+func SaturateRoutedPass() Pass {
+	return NewPass("optimize:saturate-routed", func(ctx *PassContext, c *circuit.Circuit) error {
+		out, _ := rewrite.Saturate(c, rewrite.Options{AdjacentOK: ctx.Graph.Connected})
+		ctx.Circuit = out
+		return nil
+	})
+}
+
+// SaturateOutputPass alternates the rewrite engine with 1-qubit-run
+// consolidation on the lowered circuit. Saturation is local — a mixed-axis
+// 1q run is a fixpoint for the rule table — while Consolidate1Q resynthesizes
+// such runs into at most one u-gate, which can expose new inverse pairs
+// across them; the loop runs until the gate count stops dropping (a few
+// iterations in practice, capped to stay linear).
+func SaturateOutputPass() Pass {
+	return NewPass("optimize:saturate-output", func(ctx *PassContext, c *circuit.Circuit) error {
+		cur := c
+		best := len(cur.Gates) + 1
+		for iter := 0; iter < 4 && len(cur.Gates) < best; iter++ {
+			best = len(cur.Gates)
+			out, _ := rewrite.Saturate(cur, rewrite.Options{})
+			consolidated, err := optimize.Consolidate1Q(out)
+			if err != nil {
+				return err
+			}
+			cur = consolidated
+		}
+		ctx.Circuit = cur
+		return nil
+	})
+}
+
 // ---- Schedule and stats passes ----
 
 // SchedulePass computes the compiled circuit's ASAP duration under a
@@ -439,7 +490,11 @@ func StatsPass() Pass {
 func FrontPasses(opts Options) ([]Pass, error) {
 	var ps []Pass
 	if opts.Optimize {
-		ps = append(ps, OptimizeInputPass())
+		if opts.Optimizer == OptimizerLegacy {
+			ps = append(ps, OptimizeInputPass())
+		} else {
+			ps = append(ps, SaturateInputPass())
+		}
 	}
 	switch opts.Pipeline {
 	case Conventional:
@@ -465,35 +520,48 @@ func FrontPasses(opts Options) ([]Pass, error) {
 // opts: placement, routing, second decomposition, lowering, and output
 // optimization.
 func BackPasses(opts Options) ([]Pass, error) {
+	// Under the saturating optimizer a routed-circuit rewrite pass runs just
+	// before lowering, where SWAPs and intact Toffolis are still visible.
+	saturating := opts.Optimize && opts.Optimizer != OptimizerLegacy
+	lower := []Pass{LowerPass()}
+	if saturating {
+		lower = []Pass{SaturateRoutedPass(), LowerPass()}
+	}
 	var ps []Pass
 	switch opts.Pipeline {
 	case Conventional:
-		ps = append(ps, PlacePass(), RoutePass(false), LowerPass())
+		ps = append(ps, PlacePass(), RoutePass(false))
+		ps = append(ps, lower...)
 	case TriosPipeline:
 		ps = append(ps, PlacePass(), RoutePass(true))
 		switch opts.Mode {
 		case decompose.Six:
 			// Forced 6-CNOT: decompose, then patch non-adjacent CNOTs with a
 			// fixup routing pass over physical positions.
-			ps = append(ps, MappingAwarePass(decompose.Six), FixupRoutePass(baselineFixupRouter), LowerPass())
+			ps = append(ps, MappingAwarePass(decompose.Six), FixupRoutePass(baselineFixupRouter))
 		case decompose.Auto, decompose.Eight:
-			ps = append(ps, MappingAwarePass(opts.Mode), LowerPass())
+			ps = append(ps, MappingAwarePass(opts.Mode))
 		default:
 			return nil, fmt.Errorf("compiler: unsupported toffoli mode %v", opts.Mode)
 		}
+		ps = append(ps, lower...)
 	case GroupsPipeline:
 		ps = append(ps,
 			PlacePass(),
 			GroupsRoutePass(),
 			ExpandMCXPass(),
 			FixupRoutePass(triosFixupRouter),
-			MappingAwarePass(decompose.Auto),
-			LowerPass())
+			MappingAwarePass(decompose.Auto))
+		ps = append(ps, lower...)
 	default:
 		return nil, fmt.Errorf("compiler: unknown pipeline %d", int(opts.Pipeline))
 	}
 	if opts.Optimize {
-		ps = append(ps, OptimizeOutputPass())
+		if opts.Optimizer == OptimizerLegacy {
+			ps = append(ps, OptimizeOutputPass())
+		} else {
+			ps = append(ps, SaturateOutputPass())
+		}
 	}
 	if opts.Calibration != nil {
 		ps = append(ps, FidelityPass(opts.Calibration))
@@ -566,6 +634,22 @@ func compileFrom(stdctx context.Context, input, prepared *circuit.Circuit, front
 	if nm, ok := cm.(*device.Noise); ok && nm.Calibration() != opts.Calibration {
 		if err := nm.Calibration().CheckGraph(g); err != nil {
 			return nil, err
+		}
+	}
+	// Template fast path: a source holding a precompiled fragment for this
+	// exact (input, device, options) serves it without running the pipeline;
+	// a partial match stitches the fragment to a suffix compile. Templates is
+	// stripped from the options handed down so fragment and suffix compiles
+	// can never recurse into the source.
+	if opts.Templates != nil {
+		sub := opts
+		sub.Templates = nil
+		res, ok, terr := opts.Templates.Stitch(stdctx, input, g, sub)
+		if terr != nil {
+			return nil, terr
+		}
+		if ok {
+			return res, nil
 		}
 	}
 	// Build the device's distance oracle up front (idempotent): the layout

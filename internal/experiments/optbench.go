@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/compiler"
+	"trios/internal/sim"
+	"trios/internal/template"
+	"trios/internal/topo"
+)
+
+// OptBenchRow is one (benchmark, topology, pipeline) cell of the optimizer
+// comparison: the same program compiled with -optimize under the legacy
+// pairwise cancel loop and under the saturating rewrite engine.
+type OptBenchRow struct {
+	Benchmark string `json:"benchmark"`
+	Topology  string `json:"topology"`
+	Pipeline  string `json:"pipeline"` // baseline | trios
+
+	LegacyTwoQubit   int `json:"legacy_two_qubit"`
+	SaturateTwoQubit int `json:"saturate_two_qubit"`
+	LegacyTotal      int `json:"legacy_total"`
+	SaturateTotal    int `json:"saturate_total"`
+
+	// Divergent reports whether the two arms produced different compiled
+	// bytes; only divergent cells need (and get) a simulation check.
+	Divergent bool `json:"divergent,omitempty"`
+	// EquivalenceChecked / EquivalenceOK record the per-cell statevector
+	// verification of the saturate arm against the logical source.
+	EquivalenceChecked bool `json:"equivalence_checked,omitempty"`
+	EquivalenceOK      bool `json:"equivalence_ok,omitempty"`
+}
+
+// OptBenchTemplateRow is one template-covered benchmark's cold-compile
+// latency with and without a warmed template store.
+type OptBenchTemplateRow struct {
+	Benchmark string  `json:"benchmark"`
+	Topology  string  `json:"topology"`
+	ColdNanos int64   `json:"cold_nanos"`
+	WarmNanos int64   `json:"warm_nanos"`
+	Speedup   float64 `json:"speedup"`
+	// Outcome is the template store's serving path: "hit" (exact fragment)
+	// or "stitched" (fragment prefix + suffix compile).
+	Outcome string `json:"outcome"`
+}
+
+// OptBenchReport is the BENCH_optimize.json document the CI floor script
+// asserts over: per-cell two-qubit counts old-vs-new across the Table-1 grid
+// plus template-warm cold-compile latency.
+type OptBenchReport struct {
+	Seed  int64         `json:"seed"`
+	Short bool          `json:"short,omitempty"`
+	Rows  []OptBenchRow `json:"rows"`
+
+	// Cells counts grid cells; SaturateBetter/SaturateWorse/Equal partition
+	// them by two-qubit-count comparison against the legacy arm.
+	Cells          int `json:"cells"`
+	SaturateBetter int `json:"saturate_better"`
+	SaturateWorse  int `json:"saturate_worse"`
+	Equal          int `json:"equal"`
+
+	// EquivalenceOK is true when every checked divergent cell simulated
+	// equivalent to its logical source; EquivalenceChecked counts the cells
+	// that were verified.
+	EquivalenceChecked int  `json:"equivalence_checked"`
+	EquivalenceOK      bool `json:"equivalence_ok"`
+
+	TemplateRows []OptBenchTemplateRow `json:"template_rows"`
+	// TemplateMinSpeedup is the smallest per-benchmark warm speedup — the
+	// number the CI floor holds at >= 1.5x.
+	TemplateMinSpeedup     float64 `json:"template_min_speedup"`
+	TemplateGeoMeanSpeedup float64 `json:"template_geomean_speedup"`
+}
+
+func optBenchBenchmarks(short bool) []benchmarks.Benchmark {
+	all := benchmarks.All()
+	if !short {
+		return all
+	}
+	var out []benchmarks.Benchmark
+	for _, b := range all {
+		switch b.Name {
+		case "cnx_inplace-4", "incrementer_borrowedbit-5", "grovers-9", "qft_adder-16":
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func optBenchTopologies(short bool) []*topo.Graph {
+	if short {
+		return []*topo.Graph{topo.Johannesburg(), topo.Line20()}
+	}
+	return topo.PaperTopologies()
+}
+
+// templateBenchNames are the template-covered workloads the latency
+// comparison times: the CNX family, the QFT adder, and a Toffoli-heavy
+// search circuit.
+func templateBenchNames(short bool) []string {
+	if short {
+		return []string{"cnx_inplace-4", "qft_adder-16"}
+	}
+	return []string{"cnx_dirty-11", "cnx_inplace-4", "cnx_logancilla-19", "qft_adder-16", "grovers-9"}
+}
+
+// RunOptBench compiles the Table-1 grid (benchmark x paper topology x
+// {baseline, trios} pipeline) with -optimize under both optimizer engines
+// and reports per-cell two-qubit counts, then times cold compiles of the
+// template-covered benchmarks against a warmed template store. Divergent
+// cells are statevector-verified (one random-state trial; the compiler's
+// own property tests carry the heavier multi-trial verification).
+func RunOptBench(short bool, seed int64) (*OptBenchReport, error) {
+	type cell struct {
+		bench benchmarks.Benchmark
+		input *circuit.Circuit
+		graph *topo.Graph
+		pipe  compiler.Pipeline
+	}
+	var cells []cell
+	var jobs []compiler.Job
+	bs := optBenchBenchmarks(short)
+	inputs := make(map[string]*circuit.Circuit, len(bs))
+	for _, b := range bs {
+		c, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+		}
+		inputs[b.Name] = c
+	}
+	for _, b := range bs {
+		for _, g := range optBenchTopologies(short) {
+			for _, pipe := range []compiler.Pipeline{compiler.Conventional, compiler.TriosPipeline} {
+				cells = append(cells, cell{bench: b, input: inputs[b.Name], graph: g, pipe: pipe})
+				for _, engine := range []compiler.OptimizerKind{compiler.OptimizerLegacy, compiler.OptimizerSaturate} {
+					opts := pairOptions(pipe, seed)
+					opts.Optimize = true
+					opts.Optimizer = engine
+					jobs = append(jobs, compiler.Job{
+						ID:    fmt.Sprintf("%s %v/%v on %s", b.Name, pipe, engine, g.Name()),
+						Input: inputs[b.Name],
+						Graph: g,
+						Opts:  opts,
+					})
+				}
+			}
+		}
+	}
+	rs, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	report := &OptBenchReport{Seed: seed, Short: short, EquivalenceOK: true}
+	for i, c := range cells {
+		leg, sat := rs[2*i], rs[2*i+1]
+		if leg.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", leg.Job.ID, leg.Err)
+		}
+		if sat.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", sat.Job.ID, sat.Err)
+		}
+		if err := leg.Result.Verify(); err != nil {
+			return nil, err
+		}
+		if err := sat.Result.Verify(); err != nil {
+			return nil, err
+		}
+		pipeName := "baseline"
+		if c.pipe == compiler.TriosPipeline {
+			pipeName = "trios"
+		}
+		row := OptBenchRow{
+			Benchmark:        c.bench.Name,
+			Topology:         c.graph.Name(),
+			Pipeline:         pipeName,
+			LegacyTwoQubit:   leg.Result.TwoQubitGates(),
+			SaturateTwoQubit: sat.Result.TwoQubitGates(),
+			LegacyTotal:      len(leg.Result.Physical.Gates),
+			SaturateTotal:    len(sat.Result.Physical.Gates),
+			Divergent:        !leg.Result.Physical.Equal(sat.Result.Physical),
+		}
+		if row.Divergent {
+			n := c.input.NumQubits
+			ok, err := sim.CompiledEquivalent(c.input, sat.Result.Physical, c.graph.NumQubits(),
+				sat.Result.Initial[:n], sat.Result.Final[:n], 1, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: verifying %s: %w", sat.Job.ID, err)
+			}
+			row.EquivalenceChecked = true
+			row.EquivalenceOK = ok
+			report.EquivalenceChecked++
+			if !ok {
+				report.EquivalenceOK = false
+			}
+		}
+		report.Rows = append(report.Rows, row)
+		report.Cells++
+		switch {
+		case row.SaturateTwoQubit < row.LegacyTwoQubit:
+			report.SaturateBetter++
+		case row.SaturateTwoQubit > row.LegacyTwoQubit:
+			report.SaturateWorse++
+		default:
+			report.Equal++
+		}
+	}
+
+	if err := runTemplateBench(report, short, seed); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// runTemplateBench times cold compiles of the template-covered benchmarks
+// with and without a warmed template store on Johannesburg. Each arm takes
+// the best of three runs so one scheduler hiccup cannot fail a floor.
+func runTemplateBench(report *OptBenchReport, short bool, seed int64) error {
+	g := topo.Johannesburg()
+	opts := compiler.Options{
+		Pipeline:  compiler.TriosPipeline,
+		Placement: compiler.PlaceGreedy,
+		Optimize:  true,
+		Seed:      seed,
+	}
+	var ts []template.Template
+	names := templateBenchNames(short)
+	inputs := make(map[string]*circuit.Circuit, len(names))
+	for _, name := range names {
+		b, err := benchmarks.ByName(name)
+		if err != nil {
+			return err
+		}
+		c, err := b.Build()
+		if err != nil {
+			return err
+		}
+		inputs[name] = c
+		t, err := template.New(name, c)
+		if err != nil {
+			return err
+		}
+		ts = append(ts, t)
+	}
+	store := template.NewStore(template.NewLibrary(ts...))
+	if _, err := store.Precompile(context.Background(), g, opts); err != nil {
+		return err
+	}
+	warmOpts := opts
+	warmOpts.Templates = store
+
+	var speedups []float64
+	for _, name := range names {
+		input := inputs[name]
+		cold, err := bestOfCompile(input, g, opts, 3)
+		if err != nil {
+			return err
+		}
+		before := store.Stats()
+		warm, err := bestOfCompile(input, g, warmOpts, 3)
+		if err != nil {
+			return err
+		}
+		after := store.Stats()
+		outcome := "miss"
+		switch {
+		case after.Hits > before.Hits:
+			outcome = "hit"
+		case after.Stitched > before.Stitched:
+			outcome = "stitched"
+		}
+		row := OptBenchTemplateRow{
+			Benchmark: name,
+			Topology:  g.Name(),
+			ColdNanos: cold.Nanoseconds(),
+			WarmNanos: warm.Nanoseconds(),
+			Outcome:   outcome,
+		}
+		if warm > 0 {
+			row.Speedup = float64(cold) / float64(warm)
+			speedups = append(speedups, row.Speedup)
+		}
+		report.TemplateRows = append(report.TemplateRows, row)
+		if report.TemplateMinSpeedup == 0 || row.Speedup < report.TemplateMinSpeedup {
+			report.TemplateMinSpeedup = row.Speedup
+		}
+	}
+	if len(speedups) > 0 {
+		report.TemplateGeoMeanSpeedup = GeoMean(speedups)
+	}
+	return nil
+}
+
+// bestOfCompile compiles input reps times and returns the fastest wall time.
+func bestOfCompile(input *circuit.Circuit, g *topo.Graph, opts compiler.Options, reps int) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := compiler.Compile(input, g, opts); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *OptBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: encoding opt bench: %w", err)
+	}
+	return nil
+}
+
+// WriteText prints a human-readable summary: per-cell counts and the
+// template latency table.
+func (r *OptBenchReport) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "saturating rewrite engine vs legacy cancel loop (seed %d)\n", r.Seed)
+	fmt.Fprintf(w, "%-26s %-13s %-9s %8s %9s %7s\n", "benchmark", "topology", "pipeline", "legacy2q", "saturate2q", "delta")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-26s %-13s %-9s %8d %9d %+7d\n",
+			row.Benchmark, row.Topology, row.Pipeline,
+			row.LegacyTwoQubit, row.SaturateTwoQubit, row.SaturateTwoQubit-row.LegacyTwoQubit)
+	}
+	fmt.Fprintf(w, "\ncells %d  saturate better %d  equal %d  worse %d\n",
+		r.Cells, r.SaturateBetter, r.Equal, r.SaturateWorse)
+	fmt.Fprintf(w, "equivalence: %d divergent cells checked, all ok = %v\n",
+		r.EquivalenceChecked, r.EquivalenceOK)
+	fmt.Fprintf(w, "\ntemplate-warm cold-compile latency (johannesburg)\n")
+	fmt.Fprintf(w, "%-26s %12s %12s %8s %9s\n", "benchmark", "cold", "warm", "speedup", "outcome")
+	for _, row := range r.TemplateRows {
+		fmt.Fprintf(w, "%-26s %12s %12s %7.1fx %9s\n",
+			row.Benchmark, time.Duration(row.ColdNanos), time.Duration(row.WarmNanos), row.Speedup, row.Outcome)
+	}
+	fmt.Fprintf(w, "template speedup: min %.1fx  geomean %.1fx\n", r.TemplateMinSpeedup, r.TemplateGeoMeanSpeedup)
+	return nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunOptBenchShort runs the CI-sized optimizer grid and checks the
+// report's internal consistency plus the headline acceptance properties: the
+// saturating engine must never regress a cell's two-qubit count vs the
+// legacy arm, every divergent cell must verify equivalent, and the warmed
+// template path must be faster than the cold pipeline.
+func TestRunOptBenchShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the grid twice per cell and statevector-verifies divergences")
+	}
+	r, err := RunOptBench(true, 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells == 0 || len(r.Rows) != r.Cells {
+		t.Fatalf("cells %d, rows %d", r.Cells, len(r.Rows))
+	}
+	if r.SaturateBetter+r.SaturateWorse+r.Equal != r.Cells {
+		t.Fatalf("partition %d+%d+%d != %d cells", r.SaturateBetter, r.SaturateWorse, r.Equal, r.Cells)
+	}
+	checked := 0
+	for _, row := range r.Rows {
+		if row.SaturateTwoQubit > row.LegacyTwoQubit {
+			t.Errorf("%s %s on %s: saturate %d > legacy %d two-qubit gates",
+				row.Benchmark, row.Pipeline, row.Topology, row.SaturateTwoQubit, row.LegacyTwoQubit)
+		}
+		if row.EquivalenceChecked {
+			checked++
+			if !row.EquivalenceOK {
+				t.Errorf("%s %s on %s: divergent cell failed equivalence",
+					row.Benchmark, row.Pipeline, row.Topology)
+			}
+		} else if row.Divergent {
+			t.Errorf("%s %s on %s: divergent cell was not checked",
+				row.Benchmark, row.Pipeline, row.Topology)
+		}
+	}
+	if checked != r.EquivalenceChecked {
+		t.Fatalf("equivalence_checked %d, rows say %d", r.EquivalenceChecked, checked)
+	}
+	if !r.EquivalenceOK {
+		t.Fatal("report equivalence_ok is false")
+	}
+	if len(r.TemplateRows) == 0 {
+		t.Fatal("no template latency rows")
+	}
+	for _, row := range r.TemplateRows {
+		if row.Outcome != "hit" && row.Outcome != "stitched" {
+			t.Errorf("%s: template outcome %q, want hit or stitched", row.Benchmark, row.Outcome)
+		}
+		if row.Speedup <= 1 {
+			t.Errorf("%s: template speedup %.2f not > 1", row.Benchmark, row.Speedup)
+		}
+	}
+	if r.TemplateMinSpeedup <= 1 || r.TemplateGeoMeanSpeedup < r.TemplateMinSpeedup {
+		t.Fatalf("template speedups inconsistent: min %.2f geomean %.2f",
+			r.TemplateMinSpeedup, r.TemplateGeoMeanSpeedup)
+	}
+
+	// The JSON document must round-trip with the fields the floor script
+	// reads.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"rows", "saturate_better", "equivalence_ok", "template_min_speedup"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

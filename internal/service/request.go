@@ -38,6 +38,10 @@ type CompileRequest struct {
 	// the CLI's default of 1.
 	Seed     *int64 `json:"seed,omitempty"`
 	Optimize bool   `json:"optimize,omitempty"`
+	// Optimizer selects the optimization engine when Optimize is set:
+	// "saturate" (default — the worklist rewrite engine) or "legacy" (the
+	// pre-rewrite-engine cancel loop, kept as a golden arm).
+	Optimizer string `json:"optimizer,omitempty"`
 	// Calibration names a registry calibration (see GET /v1/calibrations).
 	// When set, the compile is calibration-parameterized: routing and
 	// placement weigh edges by the calibration's -log CNOT success rates
@@ -105,25 +109,51 @@ func Resolve(req CompileRequest) (*JobSpec, error) {
 	if err != nil {
 		return nil, badRequest("input does not serialize: %v", err)
 	}
-	optKey, err := opts.CacheKey()
+	key, err := specKey(canon, g, opts)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
 	digest := sha256.Sum256([]byte(canon))
-	h := sha256.New()
-	h.Write([]byte(canon))
-	h.Write([]byte{0})
-	h.Write([]byte(g.Name()))
-	h.Write([]byte{0})
-	h.Write([]byte(optKey))
 	return &JobSpec{
 		Input:         input,
 		Graph:         g,
 		Opts:          opts,
 		CanonicalQASM: canon,
 		InputDigest:   hex.EncodeToString(digest[:]),
-		Key:           "sha256:" + hex.EncodeToString(h.Sum(nil)),
+		Key:           key,
 	}, nil
+}
+
+// specKey is the artifact content address: "sha256:<hex>" over the canonical
+// QASM, device name, and option fingerprint. The option fingerprint includes
+// the template-library digest, so template-stitched artifacts never alias
+// artifacts compiled without the library.
+func specKey(canon string, g *topo.Graph, opts compiler.Options) (string, error) {
+	optKey, err := opts.CacheKey()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(canon))
+	h.Write([]byte{0})
+	h.Write([]byte(g.Name()))
+	h.Write([]byte{0})
+	h.Write([]byte(optKey))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// AttachTemplates wires a template source into a resolved spec and recomputes
+// the content address (the library digest is part of the option fingerprint).
+// The daemon calls this after Resolve for every request when it was started
+// with a warmed template store.
+func (spec *JobSpec) AttachTemplates(ts compiler.TemplateSource) error {
+	spec.Opts.Templates = ts
+	key, err := specKey(spec.CanonicalQASM, spec.Graph, spec.Opts)
+	if err != nil {
+		return err
+	}
+	spec.Key = key
+	return nil
 }
 
 func resolveInput(req CompileRequest) (*circuit.Circuit, error) {
@@ -169,6 +199,9 @@ func resolveOptions(req CompileRequest) (compiler.Options, error) {
 	if opts.Placement, err = compiler.ParsePlacement(orDefault(req.Placement, "greedy")); err != nil {
 		return opts, badRequest("%v", err)
 	}
+	if opts.Optimizer, err = compiler.ParseOptimizer(req.Optimizer); err != nil {
+		return opts, badRequest("%v", err)
+	}
 	opts.Seed = 1 // the trios CLI's default seed
 	if req.Seed != nil {
 		opts.Seed = *req.Seed
@@ -177,6 +210,14 @@ func resolveOptions(req CompileRequest) (compiler.Options, error) {
 		return opts, badRequest("%v", err)
 	}
 	return opts, nil
+}
+
+// DefaultCompileOptions returns the options an all-defaults wire request
+// resolves to (trios pipeline, direct router, greedy placement, seed 1). The
+// daemon warms template fragments under exactly these options so default
+// requests hit warmed fragments.
+func DefaultCompileOptions() (compiler.Options, error) {
+	return resolveOptions(CompileRequest{})
 }
 
 func orDefault(s, def string) string {

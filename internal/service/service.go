@@ -12,6 +12,7 @@ import (
 	"trios/internal/compiler"
 	"trios/internal/qasm"
 	"trios/internal/store"
+	"trios/internal/template"
 )
 
 // Config sizes the service.
@@ -31,6 +32,12 @@ type Config struct {
 	// the store for the daemon's lifetime; closing it remains the opener's
 	// job, after Close returns.
 	Store *store.Store
+	// Templates, when non-nil, is attached to every resolved request: inputs
+	// that match a warmed template fragment are served or stitched instead of
+	// running the full pipeline. The library digest is folded into every
+	// artifact key, so enabling or swapping the library never aliases cached
+	// artifacts compiled without it.
+	Templates *template.Store
 }
 
 var (
@@ -325,6 +332,9 @@ func (s *Service) writeThrough(a *Artifact) {
 
 // Store exposes the persistent tier (nil when the daemon runs memory-only).
 func (s *Service) Store() *store.Store { return s.store }
+
+// Templates exposes the template store (nil when templates are disabled).
+func (s *Service) Templates() *template.Store { return s.cfg.Templates }
 
 // Workers returns the resolved compile-worker count.
 func (s *Service) Workers() int { return s.workers }

@@ -1,0 +1,126 @@
+// Package template implements content-addressed template compilation: a
+// library of recurring subcircuits (the registry benchmarks' CNX ladders,
+// QFT/adder slices, and Toffoli chains) precompiled per (device,
+// option-fingerprint) into routed fragments, plus a store that serves or
+// stitches those fragments so a compile whose input matches a warmed
+// template costs a map lookup instead of a full pipeline run.
+//
+// Identity is content-addressed throughout: a template is keyed by the
+// SHA-256 of its canonical QASM, a fragment by (template digest, device,
+// Options.CacheKey) — the option fingerprint already folds in the
+// calibration digest, so recalibrating a device invalidates every fragment
+// compiled under the old characterization without any explicit flush.
+package template
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"trios/internal/benchmarks"
+	"trios/internal/circuit"
+	"trios/internal/qasm"
+)
+
+// Template is one precompilable subcircuit: a named logical circuit plus its
+// content digest.
+type Template struct {
+	Name string
+	// Circuit is the logical template circuit; treated as immutable.
+	Circuit *circuit.Circuit
+	digest  string
+}
+
+// New builds a template, computing its content digest from the circuit's
+// canonical QASM form (so structurally identical circuits share identity no
+// matter how they were constructed).
+func New(name string, c *circuit.Circuit) (Template, error) {
+	if err := c.Validate(); err != nil {
+		return Template{}, fmt.Errorf("template %s: %w", name, err)
+	}
+	canon, err := qasm.Emit(c)
+	if err != nil {
+		return Template{}, fmt.Errorf("template %s does not serialize: %w", name, err)
+	}
+	sum := sha256.Sum256([]byte(canon))
+	return Template{Name: name, Circuit: c, digest: hex.EncodeToString(sum[:])}, nil
+}
+
+// Digest returns the SHA-256 hex of the template's canonical QASM.
+func (t Template) Digest() string { return t.digest }
+
+// Library is an ordered set of templates. The matcher scans longest-first so
+// a stitch always consumes the largest available prefix.
+type Library struct {
+	templates []Template
+	digest    string
+}
+
+// NewLibrary assembles a library, ordering templates by descending gate
+// count (ties by name for determinism) and fixing the library digest as the
+// hash over the member digests in that order.
+func NewLibrary(ts ...Template) *Library {
+	sorted := append([]Template(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		gi, gj := len(sorted[i].Circuit.Gates), len(sorted[j].Circuit.Gates)
+		if gi != gj {
+			return gi > gj
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	h := sha256.New()
+	for _, t := range sorted {
+		h.Write([]byte(t.digest))
+		h.Write([]byte{0})
+	}
+	return &Library{templates: sorted, digest: hex.EncodeToString(h.Sum(nil))}
+}
+
+// Digest identifies the library content; it is what Options.CacheKey folds
+// in, so two daemons with different libraries can never alias artifacts.
+func (l *Library) Digest() string { return l.digest }
+
+// Templates returns the members in matcher order (longest first).
+func (l *Library) Templates() []Template { return l.templates }
+
+// Len returns the number of templates.
+func (l *Library) Len() int { return len(l.templates) }
+
+// toffoliChain builds the k-Toffoli ladder template: CCX(i, i+1, i+2) for
+// consecutive triples — the repeated block of every borrowed-ancilla CNX
+// decomposition and the paper's Toffoli micro-benchmarks.
+func toffoliChain(k int) *circuit.Circuit {
+	c := circuit.New(k + 2)
+	for i := 0; i < k; i++ {
+		c.CCX(i, i+1, i+2)
+	}
+	return c
+}
+
+// DefaultLibrary builds the standard library: every registry benchmark (the
+// recurring compile workloads — CNX ladders, the Cuccaro/Takahashi/QFT
+// adders, Grover, BV, QAOA) plus short Toffoli-chain blocks that recur as
+// prefixes of ancilla-borrowing decompositions.
+func DefaultLibrary() (*Library, error) {
+	var ts []Template
+	for _, b := range benchmarks.All() {
+		c, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("template library: %s: %w", b.Name, err)
+		}
+		t, err := New(b.Name, c)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	for _, k := range []int{2, 4, 8} {
+		t, err := New(fmt.Sprintf("toffoli_chain-%d", k), toffoliChain(k))
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	return NewLibrary(ts...), nil
+}

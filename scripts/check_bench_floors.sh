@@ -10,6 +10,14 @@
 #                      route_lookahead_speedup,
 #                      dense_sweep_speedup >= KERNEL_MIN_SPEEDUP (default 1.2)
 #                      and identical == true
+#   Pass "-" for the sim or kernel path to skip that artifact (for jobs that
+#   only produce the optimizer benchmark).
+#
+#   BENCH_optimize.json (optional third argument) every grid cell's
+#                      saturate_two_qubit <= legacy_two_qubit,
+#                      saturate_better >= OPT_MIN_BETTER (default 8),
+#                      equivalence_ok == true, and
+#                      template_min_speedup >= TEMPLATE_MIN_SPEEDUP (default 1.5)
 #
 # The parallel floor only applies on multi-core hosts: on a single-core
 # machine goroutines cannot run concurrently, so the speedup is ~1.0 by
@@ -20,15 +28,21 @@ set -eu
 
 SIM_MIN_SPEEDUP="${SIM_MIN_SPEEDUP:-1.2}"
 KERNEL_MIN_SPEEDUP="${KERNEL_MIN_SPEEDUP:-1.2}"
+OPT_MIN_BETTER="${OPT_MIN_BETTER:-8}"
+TEMPLATE_MIN_SPEEDUP="${TEMPLATE_MIN_SPEEDUP:-1.5}"
 SIM_JSON="${1:-BENCH_sim.json}"
 KERNEL_JSON="${2:-BENCH_kernels.json}"
+OPT_JSON="${3:-}"
 
-python3 - "$SIM_JSON" "$KERNEL_JSON" "$SIM_MIN_SPEEDUP" "$KERNEL_MIN_SPEEDUP" <<'PY'
+python3 - "$SIM_JSON" "$KERNEL_JSON" "$SIM_MIN_SPEEDUP" "$KERNEL_MIN_SPEEDUP" \
+    "$OPT_JSON" "$OPT_MIN_BETTER" "$TEMPLATE_MIN_SPEEDUP" <<'PY'
 import json
 import sys
 
 sim_path, kernel_path, sim_min, kernel_min = (
     sys.argv[1], sys.argv[2], float(sys.argv[3]), float(sys.argv[4]))
+opt_path, opt_min_better, template_min = (
+    sys.argv[5], int(sys.argv[6]), float(sys.argv[7]))
 failed = False
 
 
@@ -38,10 +52,12 @@ def fail(msg):
     print(f"FLOOR FAIL: {msg}")
 
 
-sim = json.load(open(sim_path))
-cores = sim.get("num_cpu", 0)
-speedup = sim.get("parallel_speedup")
-if cores < 2:
+sim = json.load(open(sim_path)) if sim_path != "-" else None
+cores = sim.get("num_cpu", 0) if sim else 0
+speedup = sim.get("parallel_speedup") if sim else None
+if sim is None:
+    print("sim floors skipped (-)")
+elif cores < 2:
     print(f"{sim_path}: single-core host (num_cpu={cores}); "
           f"parallel floor skipped, parallel_speedup={speedup}")
 elif speedup is None:
@@ -52,18 +68,55 @@ else:
     print(f"{sim_path}: parallel_speedup {speedup:.2f} >= {sim_min} ok "
           f"({sim.get('effective_workers')} workers, {cores} cores)")
 
-kern = json.load(open(kernel_path))
-if not kern.get("identical", False):
-    fail(f"{kernel_path}: a new arm diverged from its legacy arm")
-for key in ("route_stochastic_speedup", "route_lookahead_speedup",
-            "dense_sweep_speedup"):
-    v = kern.get(key)
-    if v is None:
-        fail(f"{kernel_path}: {key} missing")
-    elif v < kernel_min:
-        fail(f"{kernel_path}: {key} {v:.2f} < floor {kernel_min}")
+if kernel_path == "-":
+    print("kernel floors skipped (-)")
+else:
+    kern = json.load(open(kernel_path))
+    if not kern.get("identical", False):
+        fail(f"{kernel_path}: a new arm diverged from its legacy arm")
+    for key in ("route_stochastic_speedup", "route_lookahead_speedup",
+                "dense_sweep_speedup"):
+        v = kern.get(key)
+        if v is None:
+            fail(f"{kernel_path}: {key} missing")
+        elif v < kernel_min:
+            fail(f"{kernel_path}: {key} {v:.2f} < floor {kernel_min}")
+        else:
+            print(f"{kernel_path}: {key} {v:.2f} >= {kernel_min} ok")
+
+if opt_path:
+    opt = json.load(open(opt_path))
+    rows = opt.get("rows", [])
+    if not rows:
+        fail(f"{opt_path}: no grid rows")
+    regressed = [r for r in rows
+                 if r.get("saturate_two_qubit", 0) > r.get("legacy_two_qubit", 0)]
+    for r in regressed:
+        fail(f"{opt_path}: {r['benchmark']} {r['pipeline']} on {r['topology']}: "
+             f"saturate {r['saturate_two_qubit']} > legacy {r['legacy_two_qubit']}")
+    if not regressed and rows:
+        print(f"{opt_path}: saturate <= legacy two-qubit count on all "
+              f"{len(rows)} grid cells ok")
+    better = opt.get("saturate_better", 0)
+    if better < opt_min_better:
+        fail(f"{opt_path}: saturate strictly better on only {better} cells "
+             f"< floor {opt_min_better}")
     else:
-        print(f"{kernel_path}: {key} {v:.2f} >= {kernel_min} ok")
+        print(f"{opt_path}: saturate strictly better on {better} cells "
+              f">= {opt_min_better} ok")
+    if not opt.get("equivalence_ok", False):
+        fail(f"{opt_path}: equivalence_ok is not true "
+             f"({opt.get('equivalence_checked', 0)} cells checked)")
+    else:
+        print(f"{opt_path}: equivalence ok on all "
+              f"{opt.get('equivalence_checked', 0)} divergent cells")
+    tmin = opt.get("template_min_speedup")
+    if tmin is None:
+        fail(f"{opt_path}: template_min_speedup missing")
+    elif tmin < template_min:
+        fail(f"{opt_path}: template_min_speedup {tmin:.2f} < floor {template_min}")
+    else:
+        print(f"{opt_path}: template_min_speedup {tmin:.1f} >= {template_min} ok")
 
 sys.exit(1 if failed else 0)
 PY
