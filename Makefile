@@ -7,7 +7,7 @@ GO ?= go
 GOMAXPROCS ?= 4
 BENCH_ENV = GOMAXPROCS=$(GOMAXPROCS)
 
-.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-optimize bench-service bench-fleet fleet serve loadgen lint vet fmt fmt-check bench-json fuzz-rewrite
+.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-optimize bench-service bench-fleet bench-obs fleet serve loadgen lint vet fmt fmt-check bench-json fuzz-rewrite
 
 all: build test
 
@@ -23,7 +23,7 @@ test:
 # cache/singleflight/admission machinery, the persistent artifact store, and
 # the fleet proxy's routing/health paths.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/... ./internal/rewrite/... ./internal/template/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/... ./internal/rewrite/... ./internal/template/... ./internal/obs/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -103,6 +103,14 @@ bench-service:
 # scaling floor.
 bench-fleet:
 	$(BENCH_ENV) sh scripts/bench_fleet.sh
+
+# Observability-cost benchmark: serve the same daemon with tracing off, then
+# on (the default), drive the identical mix against each, and write
+# BENCH_obs.json with tracing_on_vs_off_ratio. Fails if tracing costs more
+# than 5% of throughput (OBS_MIN_RATIO) or the trace ring comes back empty.
+# TRIOSD_RACE=-race instruments the daemon for the CI smoke.
+bench-obs:
+	$(BENCH_ENV) sh scripts/bench_obs.sh
 
 # Run a local 3-replica fleet behind the proxy until ctrl-c (no benchmark).
 fleet:

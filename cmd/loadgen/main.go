@@ -10,9 +10,15 @@
 // With -phase NAME the report is instead merged into a fleet benchmark file
 // (default BENCH_fleet.json) under phases.NAME, and the derived fleet
 // metrics are recomputed from the phases present: fleet_vs_single_speedup
-// from phases "fleet" and "single", warm_restart_hit_rate from phase "warm".
-// The -min-hit-rate, -min-disk-hits, and -min-speedup flags turn the run
-// into an assertion, for CI.
+// from phases "fleet" and "single", warm_restart_hit_rate from phase "warm",
+// tracing_on_vs_off_ratio from phases "obs-on" and "obs-off". The
+// -min-hit-rate, -min-disk-hits, -min-speedup, and -min-tracing-ratio flags
+// turn the run into an assertion, for CI.
+//
+// Tracing-aware runs: each response's X-Trios-Trace is recorded, the report
+// carries the trace ID of the slowest observed request (slowest_trace, for
+// cross-referencing with GET /debug/traces), and -check-traces asserts after
+// the run that the daemon's trace ring retained a non-empty slowest trace.
 //
 // Usage:
 //
@@ -38,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trios/internal/obs"
 	"trios/internal/service"
 	"trios/internal/version"
 )
@@ -58,6 +65,9 @@ type options struct {
 	minHitRate  float64
 	minDiskHits int
 	minSpeedup  float64
+
+	minTracingRatio float64
+	checkTraces     bool
 }
 
 func main() {
@@ -76,6 +86,8 @@ func main() {
 	flag.Float64Var(&opts.minHitRate, "min-hit-rate", -1, "fail unless this run's cache hit rate (disk hits included) reaches this fraction")
 	flag.IntVar(&opts.minDiskHits, "min-disk-hits", -1, "fail unless this run observed at least this many disk-tier (hit-disk) responses")
 	flag.Float64Var(&opts.minSpeedup, "min-speedup", -1, "fail unless fleet_vs_single_speedup (needs phases fleet and single) reaches this")
+	flag.Float64Var(&opts.minTracingRatio, "min-tracing-ratio", -1, "fail unless tracing_on_vs_off_ratio (needs phases obs-on and obs-off) reaches this")
+	flag.BoolVar(&opts.checkTraces, "check-traces", false, "after the run, fetch /debug/traces and fail unless a non-empty slowest trace was retained")
 	ping := flag.Bool("ping", false, "probe GET /healthz and exit 0 when the daemon is up")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
@@ -115,6 +127,7 @@ type sample struct {
 	status  int
 	cache   string // X-Trios-Cache: hit | hit-disk | miss | coalesced (2xx only)
 	replica string // X-Trios-Replica when a fleet proxy answered
+	trace   string // X-Trios-Trace when the daemon traces requests
 }
 
 // Report is the per-run schema: BENCH_service.json, or one phase of
@@ -158,6 +171,11 @@ type Report struct {
 	} `json:"cache"`
 	// Replicas maps replica name -> requests it answered (fleet runs only).
 	Replicas map[string]int `json:"replicas,omitempty"`
+	// TracedRequests counts 2xx responses that carried X-Trios-Trace;
+	// SlowestTrace is the trace ID of the slowest such response, for
+	// cross-referencing with GET /debug/traces on the daemon.
+	TracedRequests int    `json:"traced_requests,omitempty"`
+	SlowestTrace   string `json:"slowest_trace,omitempty"`
 }
 
 // FleetReport is the BENCH_fleet.json schema: one Report per named phase plus
@@ -168,6 +186,9 @@ type FleetReport struct {
 	FleetVsSingleSpeedup float64 `json:"fleet_vs_single_speedup,omitempty"`
 	// WarmRestartHitRate = phases.warm.cache.hit_rate.
 	WarmRestartHitRate float64 `json:"warm_restart_hit_rate,omitempty"`
+	// TracingOnVsOffRatio = phases.obs-on.throughput / phases.obs-off.throughput:
+	// the fraction of throughput retained with tracing enabled (1.0 = free).
+	TracingOnVsOffRatio float64 `json:"tracing_on_vs_off_ratio,omitempty"`
 }
 
 func run(opts options) error {
@@ -293,8 +314,18 @@ func run(opts options) error {
 		}
 	}
 
+	if rep.SlowestTrace != "" {
+		fmt.Printf("loadgen: %d/%d responses traced, slowest trace %s\n",
+			rep.TracedRequests, rep.Requests-rep.Errors, rep.SlowestTrace)
+	}
+
 	if float64(rep.Errors) > 0.01*float64(rep.Requests) {
 		return fmt.Errorf("error rate %.1f%% exceeds 1%%", 100*float64(rep.Errors)/float64(rep.Requests))
+	}
+	if opts.checkTraces {
+		if err := checkDebugTraces(opts.addr); err != nil {
+			return err
+		}
 	}
 	return assert(opts, rep, fleetRep)
 }
@@ -323,6 +354,11 @@ func mergePhase(path, name string, rep *Report) (*FleetReport, error) {
 	}
 	if warm, ok := fleet.Phases["warm"]; ok {
 		fleet.WarmRestartHitRate = warm.Cache.HitRate
+	}
+	if off, ok := fleet.Phases["obs-off"]; ok && off.ThroughputRPS > 0 {
+		if on, ok := fleet.Phases["obs-on"]; ok {
+			fleet.TracingOnVsOffRatio = on.ThroughputRPS / off.ThroughputRPS
+		}
 	}
 	if path != "" {
 		enc, err := json.MarshalIndent(fleet, "", "  ")
@@ -353,6 +389,47 @@ func assert(opts options, rep *Report, fleet *FleetReport) error {
 		}
 		fmt.Printf("loadgen: fleet_vs_single_speedup %.2fx (>= %.2f required)\n", fleet.FleetVsSingleSpeedup, opts.minSpeedup)
 	}
+	if opts.minTracingRatio >= 0 {
+		if fleet == nil || fleet.TracingOnVsOffRatio == 0 {
+			return fmt.Errorf("-min-tracing-ratio needs phases %q and %q in the fleet report", "obs-on", "obs-off")
+		}
+		if fleet.TracingOnVsOffRatio < opts.minTracingRatio {
+			return fmt.Errorf("tracing_on_vs_off_ratio %.3f below -min-tracing-ratio %.3f", fleet.TracingOnVsOffRatio, opts.minTracingRatio)
+		}
+		fmt.Printf("loadgen: tracing_on_vs_off_ratio %.3f (>= %.3f required)\n", fleet.TracingOnVsOffRatio, opts.minTracingRatio)
+	}
+	return nil
+}
+
+// checkDebugTraces asserts the daemon's trace ring retained work from this
+// run: GET /debug/traces?format=json must report tracing enabled and a
+// slowest trace with at least one span.
+func checkDebugTraces(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/debug/traces?format=json")
+	if err != nil {
+		return fmt.Errorf("-check-traces: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("-check-traces: /debug/traces returned %d", resp.StatusCode)
+	}
+	var body struct {
+		Enabled bool               `json:"enabled"`
+		Ended   uint64             `json:"traces_ended"`
+		Slowest []obs.TraceSummary `json:"slowest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("-check-traces: bad /debug/traces JSON: %v", err)
+	}
+	if !body.Enabled {
+		return fmt.Errorf("-check-traces: tracing is disabled on %s", addr)
+	}
+	if len(body.Slowest) == 0 || len(body.Slowest[0].Spans) == 0 {
+		return fmt.Errorf("-check-traces: no slowest trace retained after the run")
+	}
+	fmt.Printf("loadgen: trace ring ok (%d traces completed, slowest %s %s)\n",
+		body.Ended, body.Slowest[0].TraceID, body.Slowest[0].Root)
 	return nil
 }
 
@@ -374,6 +451,7 @@ func shoot(ctx context.Context, client *http.Client, url string, body []byte) (s
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Trios-Cache"),
 		replica: resp.Header.Get("X-Trios-Replica"),
+		trace:   resp.Header.Get(obs.TraceHeader),
 	}, nil
 }
 
@@ -381,6 +459,7 @@ func summarize(all []sample, elapsed time.Duration) *Report {
 	rep := &Report{StatusCounts: make(map[string]int)}
 	latencies := make([]float64, 0, len(all))
 	var sum float64
+	var slowest time.Duration
 	for _, s := range all {
 		rep.Requests++
 		key := fmt.Sprintf("%d", s.status)
@@ -397,6 +476,13 @@ func summarize(all []sample, elapsed time.Duration) *Report {
 				rep.Replicas = make(map[string]int)
 			}
 			rep.Replicas[s.replica]++
+		}
+		if s.trace != "" {
+			rep.TracedRequests++
+			if rep.SlowestTrace == "" || s.latency > slowest {
+				rep.SlowestTrace = s.trace
+				slowest = s.latency
+			}
 		}
 		ms := float64(s.latency) / float64(time.Millisecond)
 		latencies = append(latencies, ms)

@@ -5,9 +5,9 @@
 // bounded-queue admission control (429 on overload). Requests may name a
 // device calibration (see GET /v1/calibrations) for noise-aware,
 // fidelity-annotated compiles. GET /v1/devices lists topologies, /healthz
-// reports liveness and build identity, /metrics exports Prometheus counters.
-// SIGINT/SIGTERM drains gracefully: in-flight compiles finish (up to
-// -grace), new work is refused with 503.
+// reports liveness and build identity, /metrics exports Prometheus counters
+// plus Go runtime health. SIGINT/SIGTERM drains gracefully: in-flight
+// compiles finish (up to -grace), new work is refused with 503.
 //
 // With -store-dir the in-memory cache is backed by a disk-based,
 // content-addressed artifact store: cold compiles are written through and a
@@ -15,12 +15,22 @@
 // hit-disk), with bodies byte-identical to the cold compiles that populated
 // the store.
 //
+// Observability: requests are traced by default (-trace=false disables) —
+// every /v1/ request records a span tree (cache probe, queue wait, per-pass
+// compile, store flush) into a bounded in-process ring served at GET
+// /debug/traces, and the trace ID is echoed in the X-Trios-Trace response
+// header. Inbound W3C traceparent headers are honored, so a request routed
+// through triosfleet carries one trace ID end to end. Logs are structured
+// (-log-format logfmt|json, -log-level debug|info|warn|error), and -debug-addr
+// starts a separate listener with net/http/pprof plus the trace ring.
+//
 // Usage:
 //
 //	triosd -addr :8421 -workers 4 -queue 64 -cache 512 -store-dir /var/lib/triosd
 //	curl -s localhost:8421/healthz
 //	curl -s localhost:8421/v1/calibrations
 //	curl -s -X POST localhost:8421/v1/compile -d '{"benchmark":"grovers-9","pipeline":"trios","calibration":"johannesburg-0819"}'
+//	curl -s localhost:8421/debug/traces            # recent + slowest span trees
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"time"
 
 	"trios/internal/compiler"
+	"trios/internal/obs"
 	"trios/internal/service"
 	"trios/internal/store"
 	"trios/internal/template"
@@ -61,6 +72,30 @@ func main() {
 	}
 }
 
+// serveConfig carries the resolved daemon configuration from flag parsing to
+// serve — one struct instead of a dozen positional parameters.
+type serveConfig struct {
+	addr          string
+	debugAddr     string // "" = no debug listener
+	workers       int
+	queue         int
+	cacheSize     int
+	storeDir      string
+	storeMaxBytes int64
+	templates     bool
+	templateWarm  string
+	grace         time.Duration
+
+	logger *obs.Logger
+	tracer *obs.Tracer // nil = tracing disabled
+
+	// ready, when non-nil, is called with the bound serving listener address
+	// once the daemon accepts connections; debugReady likewise for the debug
+	// listener (tests bind :0 and use these to find the ports).
+	ready      func(net.Addr)
+	debugReady func(net.Addr)
+}
+
 // run is the testable daemon entry point: flags come from args, -version
 // output goes to out, and the daemon serves until ctx is cancelled, then
 // drains gracefully. ready, when non-nil, is called with the bound listener
@@ -70,6 +105,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	fs := flag.NewFlagSet("triosd", flag.ContinueOnError)
 	var (
 		addr          = fs.String("addr", ":8421", "listen address")
+		debugAddr     = fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/traces ('' = off)")
 		workers       = fs.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
 		queue         = fs.Int("queue", 64, "admission queue depth; overflow is shed with 429")
 		cacheSize     = fs.Int("cache", 512, "compile cache capacity in artifacts")
@@ -78,6 +114,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		templates     = fs.Bool("templates", false, "precompile the template library at startup and serve or stitch matching requests from fragments")
 		templateWarm  = fs.String("template-warm", "johannesburg", "comma-separated topologies to warm template fragments for (with -templates)")
 		grace         = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
+		trace         = fs.Bool("trace", true, "record request span trees, served at /debug/traces")
+		logLevel      = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat     = fs.String("log-format", "logfmt", "log format: logfmt or json")
 		showVersion   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -90,31 +129,68 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		fmt.Fprintln(out, version.Get())
 		return nil
 	}
-	return serve(ctx, *addr, *workers, *queue, *cacheSize, *storeDir, *storeMaxBytes, *templates, *templateWarm, *grace, ready)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	cfg := serveConfig{
+		addr:          *addr,
+		debugAddr:     *debugAddr,
+		workers:       *workers,
+		queue:         *queue,
+		cacheSize:     *cacheSize,
+		storeDir:      *storeDir,
+		storeMaxBytes: *storeMaxBytes,
+		templates:     *templates,
+		templateWarm:  *templateWarm,
+		grace:         *grace,
+		logger:        obs.NewLogger(os.Stderr, level, format),
+		ready:         ready,
+	}
+	if *trace {
+		cfg.tracer = obs.NewTracer()
+	}
+	return serve(ctx, cfg)
 }
 
-func serve(ctx context.Context, addr string, workers, queue, cacheSize int, storeDir string, storeMaxBytes int64, templates bool, templateWarm string, grace time.Duration, ready func(net.Addr)) error {
+func serve(ctx context.Context, cfg serveConfig) error {
+	logger := cfg.logger
 	var st *store.Store
-	if storeDir != "" {
+	if cfg.storeDir != "" {
 		var err error
-		st, err = store.Open(storeDir, storeMaxBytes)
+		st, err = store.Open(cfg.storeDir, cfg.storeMaxBytes)
 		if err != nil {
 			return err
 		}
 		stats := st.Stats()
-		log.Printf("triosd artifact store %s: %d entries, %d bytes (rebuilt=%v)", storeDir, stats.Entries, stats.Bytes, stats.Rebuilt)
+		logger.Info(fmt.Sprintf("triosd artifact store %s: %d entries, %d bytes (rebuilt=%v)",
+			cfg.storeDir, stats.Entries, stats.Bytes, stats.Rebuilt))
 		defer st.Close() // persist the recency index on every exit path
 	}
 	var tmpl *template.Store
-	if templates {
+	if cfg.templates {
 		lib, err := template.DefaultLibrary()
 		if err != nil {
 			return err
 		}
 		tmpl = template.NewStore(lib)
-		log.Printf("triosd template library: %d templates (digest %.12s)", lib.Len(), lib.Digest())
+		logger.Info(fmt.Sprintf("triosd template library: %d templates (digest %.12s)", lib.Len(), lib.Digest()))
 	}
-	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheSize, Store: st, Templates: tmpl})
+	svc := service.New(service.Config{
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queue,
+		CacheEntries: cfg.cacheSize,
+		Store:        st,
+		Templates:    tmpl,
+		Tracer:       cfg.tracer,
+		Logger:       logger,
+	})
 	srv := &http.Server{
 		Handler: svc.Handler(),
 		// Bound what a slow or stalled client can pin: headers must arrive
@@ -128,19 +204,41 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("triosd listening on %s (%s, workers=%d queue=%d cache=%d)",
-		ln.Addr(), version.Get(), workers, queue, cacheSize)
-	if ready != nil {
-		ready(ln.Addr())
+	logger.Info(fmt.Sprintf("triosd listening on %s (%s, workers=%d queue=%d cache=%d)",
+		ln.Addr(), version.Get(), cfg.workers, cfg.queue, cfg.cacheSize),
+		"trace", cfg.tracer != nil)
+	if cfg.ready != nil {
+		cfg.ready(ln.Addr())
 	}
+
+	// The opt-in debug listener: pprof + the trace ring, on its own port so
+	// profiling endpoints never share the serving surface.
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		debugSrv = &http.Server{Handler: obs.DebugMux(cfg.tracer), ReadHeaderTimeout: 10 * time.Second}
+		logger.Info(fmt.Sprintf("triosd debug listening on %s (pprof + traces)", dln.Addr()))
+		if cfg.debugReady != nil {
+			cfg.debugReady(dln.Addr())
+		}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("triosd debug listener failed", "err", err.Error())
+			}
+		}()
+	}
+
 	if tmpl != nil {
 		// Warm fragments off the serving path: requests that arrive before a
 		// fragment lands simply compile through the full pipeline (a miss).
-		go warmTemplates(ctx, tmpl, templateWarm)
+		go warmTemplates(ctx, tmpl, cfg.templateWarm, logger)
 	}
 
 	serveErr := make(chan error, 1)
@@ -151,8 +249,8 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("triosd draining (deadline %s)", grace)
-	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+	logger.Info(fmt.Sprintf("triosd draining (deadline %s)", cfg.grace))
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	// Flip to draining FIRST, while the listener is still up: load balancers
 	// polling /healthz see 503 and stop routing, and requests that still
@@ -162,10 +260,13 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	if err := svc.Close(drainCtx); err != nil {
-		log.Printf("triosd: drain deadline cut compilations short: %v", err)
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(drainCtx)
 	}
-	log.Printf("triosd stopped")
+	if err := svc.Close(drainCtx); err != nil {
+		logger.Warn(fmt.Sprintf("triosd: drain deadline cut compilations short: %v", err))
+	}
+	logger.Info("triosd stopped")
 	return nil
 }
 
@@ -173,10 +274,10 @@ func serve(ctx context.Context, addr string, workers, queue, cacheSize int, stor
 // under the daemon's default request options — both the plain and the
 // -optimize variant, so requests at either setting hit warmed fragments.
 // Warmup runs in the background and quits quietly on shutdown.
-func warmTemplates(ctx context.Context, tmpl *template.Store, topos string) {
+func warmTemplates(ctx context.Context, tmpl *template.Store, topos string, logger *obs.Logger) {
 	defs, err := service.DefaultCompileOptions()
 	if err != nil {
-		log.Printf("triosd template warmup: %v", err)
+		logger.Warn(fmt.Sprintf("triosd template warmup: %v", err))
 		return
 	}
 	optimized := defs
@@ -190,7 +291,7 @@ func warmTemplates(ctx context.Context, tmpl *template.Store, topos string) {
 		}
 		g, err := topo.ByName(name)
 		if err != nil {
-			log.Printf("triosd template warmup: %v", err)
+			logger.Warn(fmt.Sprintf("triosd template warmup: %v", err))
 			continue
 		}
 		g.EnsureOracle()
@@ -201,9 +302,9 @@ func warmTemplates(ctx context.Context, tmpl *template.Store, topos string) {
 				if ctx.Err() != nil {
 					return // shutting down mid-warmup; not an error
 				}
-				log.Printf("triosd template warmup %s: %v", name, err)
+				logger.Warn(fmt.Sprintf("triosd template warmup %s: %v", name, err))
 			}
 		}
 	}
-	log.Printf("triosd template warmup done: %d fragments in %s", total, time.Since(start).Round(time.Millisecond))
+	logger.Info(fmt.Sprintf("triosd template warmup done: %d fragments in %s", total, time.Since(start).Round(time.Millisecond)))
 }

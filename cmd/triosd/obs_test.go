@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves an ephemeral port and returns it for reuse. The port is
+// released before use, so a parallel bind could in principle steal it; for a
+// test process that window is acceptable.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunRejectsBadLogFlags: invalid -log-level / -log-format are usage
+// errors, like any other bad flag.
+func TestRunRejectsBadLogFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
+	} {
+		if err := run(context.Background(), args, io.Discard, nil); !errors.Is(err, errFlagParse) {
+			t.Fatalf("run(%v) = %v, want errFlagParse", args, err)
+		}
+	}
+}
+
+// TestDaemonTraceHeaderAndDebugEndpoints boots the daemon with the default
+// tracing plus a debug listener, compiles once, and checks: the response
+// carries X-Trios-Trace, /debug/traces on the serving port shows the compile
+// span tree, and the debug listener serves pprof and the same trace ring.
+func TestDaemonTraceHeaderAndDebugEndpoints(t *testing.T) {
+	debugAddr := freeAddr(t)
+	base, shutdown := startDaemon(t, "-debug-addr", debugAddr)
+	defer shutdown()
+
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"benchmark":"cnx_inplace-4","pipeline":"trios"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trios-Trace")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Trios-Trace %q is not a 32-hex trace id", traceID)
+	}
+
+	// The root span publishes after the response; poll the ring.
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for {
+		dresp, err := http.Get(base + "/debug/traces")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(dresp.Body)
+		dresp.Body.Close()
+		body = string(raw)
+		if strings.Contains(body, traceID) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/traces never showed trace %s:\n%s", traceID, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{"POST /v1/compile", "compile", "queue:wait"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/traces missing %q:\n%s", want, body)
+		}
+	}
+
+	// The separate debug listener serves the same ring plus pprof.
+	dresp, err := http.Get("http://" + debugAddr + "/debug/traces")
+	if err != nil {
+		t.Fatalf("debug listener: %v", err)
+	}
+	raw, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if !strings.Contains(string(raw), traceID) {
+		t.Fatalf("debug listener trace ring missing trace %s", traceID)
+	}
+	presp, err := http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", presp.StatusCode)
+	}
+}
+
+// TestDaemonTraceOff: -trace=false serves compiles without trace headers and
+// /debug/traces reports tracing disabled.
+func TestDaemonTraceOff(t *testing.T) {
+	base, shutdown := startDaemon(t, "-trace=false")
+	defer shutdown()
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"benchmark":"cnx_inplace-4","pipeline":"trios"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trios-Trace"); got != "" {
+		t.Fatalf("X-Trios-Trace %q with -trace=false", got)
+	}
+	dresp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if !strings.Contains(string(raw), "tracing disabled") {
+		t.Fatalf("/debug/traces with tracing off: %s", raw)
+	}
+}

@@ -6,6 +6,14 @@
 // mid-run is retried along the ring, so the fleet loses capacity rather than
 // availability.
 //
+// Observability: routed compiles are traced by default (-trace=false
+// disables) — the proxy records a span per request (key resolve, one forward
+// span per attempt) and injects a W3C traceparent into every forward, so the
+// replica's spans join the same trace; GET /debug/traces serves the proxy's
+// ring and X-Trios-Trace echoes the trace ID. Logs are structured
+// (-log-format logfmt|json, -log-level), and -debug-addr starts a separate
+// pprof + traces listener.
+//
 // Usage:
 //
 //	triosfleet -addr :8420 -replicas http://127.0.0.1:8431,http://127.0.0.1:8432,http://127.0.0.1:8433
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"trios/internal/fleet"
+	"trios/internal/obs"
 	"trios/internal/version"
 )
 
@@ -76,10 +85,14 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	fs := flag.NewFlagSet("triosfleet", flag.ContinueOnError)
 	var (
 		addr           = fs.String("addr", ":8420", "listen address")
+		debugAddr      = fs.String("debug-addr", "", "separate listener for /debug/pprof and /debug/traces ('' = off)")
 		replicasSpec   = fs.String("replicas", "", "comma-separated triosd base URLs (required)")
 		vnodes         = fs.Int("vnodes", fleet.DefaultVnodes, "hash-ring virtual nodes per replica")
 		healthInterval = fs.Duration("health-interval", 500*time.Millisecond, "replica /healthz poll interval")
 		grace          = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
+		trace          = fs.Bool("trace", true, "record routed-request span trees, served at /debug/traces")
+		logLevel       = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat      = fs.String("log-format", "logfmt", "log format: logfmt or json")
 		showVersion    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,12 +105,32 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		fmt.Fprintln(out, version.Get())
 		return nil
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	logger := obs.NewLogger(os.Stderr, level, format)
 	replicas, err := parseReplicas(*replicasSpec)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errFlagParse, err)
 	}
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer()
+	}
 
-	proxy := fleet.NewProxy(replicas, fleet.Options{Vnodes: *vnodes, HealthInterval: *healthInterval})
+	proxy := fleet.NewProxy(replicas, fleet.Options{
+		Vnodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		Tracer:         tracer,
+		Logger:         logger,
+	})
 	healthCtx, stopHealth := context.WithCancel(ctx)
 	defer stopHealth()
 	go proxy.Run(healthCtx)
@@ -116,10 +149,26 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	for i, r := range replicas {
 		names[i] = r.Name
 	}
-	log.Printf("triosfleet listening on %s (%s), %d replicas: %s",
-		ln.Addr(), version.Get(), len(replicas), strings.Join(names, " "))
+	logger.Info(fmt.Sprintf("triosfleet listening on %s (%s), %d replicas: %s",
+		ln.Addr(), version.Get(), len(replicas), strings.Join(names, " ")),
+		"trace", tracer != nil)
 	if ready != nil {
 		ready(ln.Addr())
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		debugSrv = &http.Server{Handler: obs.DebugMux(tracer), ReadHeaderTimeout: 10 * time.Second}
+		logger.Info(fmt.Sprintf("triosfleet debug listening on %s (pprof + traces)", dln.Addr()))
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("triosfleet debug listener failed", "err", err.Error())
+			}
+		}()
 	}
 
 	serveErr := make(chan error, 1)
@@ -130,12 +179,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("triosfleet draining (deadline %s)", *grace)
+	logger.Info(fmt.Sprintf("triosfleet draining (deadline %s)", *grace))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	log.Printf("triosfleet stopped")
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(drainCtx)
+	}
+	logger.Info("triosfleet stopped")
 	return nil
 }

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trios/internal/obs"
+	"trios/internal/service"
+)
+
+// tracedFleet wires a traced proxy over a single real triosd service with its
+// own tracer — two trace rings, one per "process", like production.
+func tracedFleet(t *testing.T) (*httptest.Server, *obs.Tracer, *obs.Tracer) {
+	t.Helper()
+	replicaTracer := obs.NewTracer()
+	svc := service.New(service.Config{Workers: 2, Tracer: replicaTracer})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	})
+	backend := httptest.NewServer(svc.Handler())
+	t.Cleanup(backend.Close)
+
+	proxyTracer := obs.NewTracer()
+	p := NewProxy([]Replica{{Name: "r0", URL: backend.URL}}, Options{Tracer: proxyTracer})
+	front := httptest.NewServer(p.Handler())
+	t.Cleanup(front.Close)
+	return front, proxyTracer, replicaTracer
+}
+
+func waitTraces(t *testing.T, tracer *obs.Tracer, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ended := tracer.Counts(); ended >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace not published in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func findSpan(tr obs.TraceSummary, name string) (obs.SpanData, bool) {
+	for _, s := range tr.Spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return obs.SpanData{}, false
+}
+
+// TestFleetTracePropagation drives one compile through proxy -> replica and
+// checks both processes recorded the SAME trace: the proxy's trace holds the
+// root and forward spans, the replica's holds a server span whose parent is
+// the proxy's forward span, and the client-visible X-Trios-Trace matches.
+func TestFleetTracePropagation(t *testing.T) {
+	front, proxyTracer, replicaTracer := tracedFleet(t)
+	resp, _ := postFleet(t, front.URL, compileBody(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get(obs.TraceHeader)
+	if len(traceID) != 32 {
+		t.Fatalf("X-Trios-Trace %q is not a 32-hex trace id", traceID)
+	}
+	waitTraces(t, proxyTracer, 1)
+	waitTraces(t, replicaTracer, 1)
+
+	proxyTrace := proxyTracer.Recent(1)[0]
+	replicaTrace := replicaTracer.Recent(1)[0]
+	if proxyTrace.TraceID != traceID || replicaTrace.TraceID != traceID {
+		t.Fatalf("trace ids diverge: header %s proxy %s replica %s",
+			traceID, proxyTrace.TraceID, replicaTrace.TraceID)
+	}
+	fwd, ok := findSpan(proxyTrace, "proxy:forward")
+	if !ok {
+		t.Fatalf("proxy trace has no forward span: %+v", proxyTrace.Spans)
+	}
+	if _, ok := findSpan(proxyTrace, "proxy:resolve-key"); !ok {
+		t.Fatal("proxy trace has no resolve span")
+	}
+	serverRoot, ok := findSpan(replicaTrace, "POST /v1/compile")
+	if !ok {
+		t.Fatalf("replica trace has no server span: %+v", replicaTrace.Spans)
+	}
+	if serverRoot.ParentID != fwd.SpanID {
+		t.Fatalf("replica span parent %s, want proxy forward span %s", serverRoot.ParentID, fwd.SpanID)
+	}
+	if _, ok := findSpan(replicaTrace, "compile"); !ok {
+		t.Fatal("replica trace has no compile span")
+	}
+}
+
+// TestFleetInboundTraceparent: a client that already traces its own calls
+// hands the fleet a traceparent; the whole proxy -> replica chain must join
+// that trace and echo its ID.
+func TestFleetInboundTraceparent(t *testing.T) {
+	front, proxyTracer, replicaTracer := tracedFleet(t)
+	const clientTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest("POST", front.URL+"/v1/compile", strings.NewReader(compileBody(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-"+clientTrace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != clientTrace {
+		t.Fatalf("X-Trios-Trace %q, want client trace %q", got, clientTrace)
+	}
+	waitTraces(t, proxyTracer, 1)
+	waitTraces(t, replicaTracer, 1)
+	if got := proxyTracer.Recent(1)[0].TraceID; got != clientTrace {
+		t.Fatalf("proxy recorded trace %s, want %s", got, clientTrace)
+	}
+	if got := replicaTracer.Recent(1)[0].TraceID; got != clientTrace {
+		t.Fatalf("replica recorded trace %s, want %s", got, clientTrace)
+	}
+}
+
+// TestFleetDebugTracesAndMetrics: the proxy serves its own trace ring and a
+// lint-clean /metrics including runtime health.
+func TestFleetDebugTracesAndMetrics(t *testing.T) {
+	front, proxyTracer, _ := tracedFleet(t)
+	if resp, _ := postFleet(t, front.URL, compileBody(3)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d", resp.StatusCode)
+	}
+	waitTraces(t, proxyTracer, 1)
+
+	dbg, err := http.Get(front.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(dbg.Body)
+	dbg.Body.Close()
+	if dbg.StatusCode != http.StatusOK || !strings.Contains(string(raw), "proxy:forward") {
+		t.Fatalf("fleet debug traces: %d\n%s", dbg.StatusCode, raw)
+	}
+
+	m, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(m.Body)
+	m.Body.Close()
+	out := string(mraw)
+	for _, want := range []string{"triosfleet_routed_total", "go_goroutines"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet /metrics missing %s:\n%.400s", want, out)
+		}
+	}
+	if problems := obs.LintExposition(strings.NewReader(out)); len(problems) != 0 {
+		t.Fatalf("fleet /metrics fails exposition lint:\n%s\nfull:\n%s", strings.Join(problems, "\n"), out)
+	}
+}

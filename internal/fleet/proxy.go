@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trios/internal/obs"
 	"trios/internal/service"
 	"trios/internal/version"
 )
@@ -28,6 +29,13 @@ type Options struct {
 	HealthInterval time.Duration
 	// KeyCacheEntries bounds the request-body -> cache-key memo (<= 0: 4096).
 	KeyCacheEntries int
+	// Tracer, when non-nil, records a span per routed compile (key resolve,
+	// one forward span per attempt) and injects a W3C traceparent into every
+	// forwarded request, so the replica's spans join the proxy's trace.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives structured warnings for routing events
+	// (replica marked down, request unroutable).
+	Logger *obs.Logger
 }
 
 // Proxy is the fleet front: it owns the ring, the health view, and the
@@ -40,6 +48,8 @@ type Proxy struct {
 	client   *http.Client
 	keys     *keyCache
 	start    time.Time
+	tracer   *obs.Tracer
+	logger   *obs.Logger
 
 	routed    []atomic.Uint64 // per replica: requests answered by it
 	retried   []atomic.Uint64 // per replica: requests moved off it after failure
@@ -67,6 +77,8 @@ func NewProxy(replicas []Replica, opts Options) *Proxy {
 		},
 		keys:    newKeyCache(entries),
 		start:   time.Now(),
+		tracer:  opts.Tracer,
+		logger:  opts.Logger,
 		routed:  make([]atomic.Uint64, len(replicas)),
 		retried: make([]atomic.Uint64, len(replicas)),
 	}
@@ -87,7 +99,8 @@ func (p *Proxy) Ring() *Ring { return p.ring }
 //	GET  /v1/devices       — forwarded to a routable replica
 //	GET  /v1/calibrations  — forwarded to a routable replica
 //	GET  /healthz          — fleet health: per-replica status, 503 when none routable
-//	GET  /metrics          — fleet routing counters (Prometheus text)
+//	GET  /metrics          — fleet routing counters (Prometheus text, + Go runtime health)
+//	GET  /debug/traces     — recent + slowest routed traces (when tracing is on)
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", p.handleCompile)
@@ -95,6 +108,7 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/calibrations", p.forwardGET)
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	mux.Handle("GET /debug/traces", p.tracer.DebugHandler())
 	return mux
 }
 
@@ -131,8 +145,24 @@ func (p *Proxy) compileKey(body []byte) (string, error) {
 }
 
 func (p *Proxy) handleCompile(w http.ResponseWriter, r *http.Request) {
+	// Root span for this routed request. An inbound W3C traceparent (a client
+	// that traces its own calls) is honored, so the proxy's spans — and, via
+	// the injected header on each forward, the replica's — join that trace.
+	var span *obs.Span
+	if p.tracer != nil {
+		ctx := r.Context()
+		if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx, span = p.tracer.StartRemoteSpan(ctx, "POST /v1/compile", sc)
+		} else {
+			ctx, span = p.tracer.StartSpan(ctx, "POST /v1/compile")
+		}
+		w.Header().Set(obs.TraceHeader, span.TraceIDString())
+		r = r.WithContext(ctx)
+		defer span.End()
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
+		span.SetError(err)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
@@ -141,14 +171,18 @@ func (p *Proxy) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	resolve := span.Child("proxy:resolve-key")
 	key, err := p.compileKey(body)
+	resolve.End()
 	if err != nil {
 		// The request would fail identically on any replica; reject it here
 		// without spending fleet capacity (the daemon classifies these 400).
 		p.resolveKO.Add(1)
+		span.SetError(err)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	span.SetAttr("key", key)
 
 	order := p.ring.Order(key)
 	candidates := order[:0:0]
@@ -166,29 +200,44 @@ func (p *Proxy) handleCompile(w http.ResponseWriter, r *http.Request) {
 	attempts := 0
 	for _, i := range candidates {
 		attempts++
-		resp, err := p.forward(r.Context(), i, body)
+		fwd := span.Child("proxy:forward")
+		fwd.SetAttr("replica", p.replicas[i].Name)
+		resp, err := p.forward(r.Context(), i, body, fwd)
 		if err != nil {
 			// Transport-level failure: the replica is gone or unreachable.
 			// Compiles are idempotent (content-addressed), so moving the
 			// request to the next replica on the ring is always safe.
+			fwd.SetError(err)
+			fwd.End()
 			p.health.MarkDown(i)
 			p.retried[i].Add(1)
+			p.logger.Warn("replica failed, retrying on next ring candidate",
+				"replica", p.replicas[i].Name, "err", err.Error())
 			continue
 		}
 		p.relay(w, resp, i, attempts)
+		fwd.End()
 		return
 	}
 	p.noReplica.Add(1)
-	writeJSON(w, http.StatusBadGateway, errorBody{Error: fmt.Sprintf("fleet: no replica reachable for key %s (%d attempted)", key, attempts)})
+	p.logger.Error("no replica reachable", "key", key, "attempted", attempts)
+	err = fmt.Errorf("fleet: no replica reachable for key %s (%d attempted)", key, attempts)
+	span.SetError(err)
+	writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
 }
 
-// forward posts one compile to replica i.
-func (p *Proxy) forward(ctx context.Context, i int, body []byte) (*http.Response, error) {
+// forward posts one compile to replica i. When fwd is a live span, its
+// context rides the request as a traceparent header, making the replica's
+// server-side spans children of this attempt.
+func (p *Proxy) forward(ctx context.Context, i int, body []byte, fwd *obs.Span) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.replicas[i].URL+"/v1/compile", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if fwd != nil {
+		req.Header.Set(obs.TraceparentHeader, fwd.Context().Traceparent())
+	}
 	return p.client.Do(req)
 }
 
@@ -197,7 +246,11 @@ func (p *Proxy) forward(ctx context.Context, i int, body []byte) (*http.Response
 func (p *Proxy) relay(w http.ResponseWriter, resp *http.Response, i, attempts int) {
 	defer resp.Body.Close()
 	p.routed[i].Add(1)
-	for _, h := range []string{"Content-Type", "X-Trios-Cache", "X-Trios-Key", "Retry-After"} {
+	// X-Trios-Trace is relayed too: with proxy tracing on it matches the
+	// proxy's own header (the replica echoes the injected trace ID); with
+	// proxy tracing off it hands the client the replica's trace ID instead
+	// of nothing.
+	for _, h := range []string{"Content-Type", "X-Trios-Cache", "X-Trios-Key", "X-Trios-Trace", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -276,6 +329,7 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := p.keys.stats()
 	fmt.Fprintf(w, "# TYPE triosfleet_keycache_hits_total counter\ntriosfleet_keycache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "# TYPE triosfleet_keycache_misses_total counter\ntriosfleet_keycache_misses_total %d\n", misses)
+	obs.WriteRuntimeMetrics(w)
 }
 
 // Routed returns replica i's served-request count (tests, reports).

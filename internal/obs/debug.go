@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the opt-in debug surface both daemons serve on their
+// -debug-addr listener: net/http/pprof under /debug/pprof/ plus the trace
+// ring at /debug/traces. It is deliberately a separate mux on a separate
+// listener — profiling endpoints expose internals and can stall the world,
+// so they never share the serving port.
+func DebugMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", t.DebugHandler())
+	return mux
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// debugTracesBody is the JSON form of GET /debug/traces.
+type debugTracesBody struct {
+	Enabled bool           `json:"enabled"`
+	Started uint64         `json:"traces_started"`
+	Ended   uint64         `json:"traces_ended"`
+	Recent  []TraceSummary `json:"recent"`
+	Slowest []TraceSummary `json:"slowest"`
+}
+
+// DebugHandler serves GET /debug/traces: the most recent and the slowest
+// retained traces, as an indented span-tree text page by default or as JSON
+// with ?format=json. ?n=K bounds how many traces of each kind are rendered
+// (default 10). Works on a nil tracer (reports tracing disabled), so the
+// route can be registered unconditionally.
+func (t *Tracer) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+				n = v
+			}
+		}
+		body := debugTracesBody{
+			Enabled: t != nil,
+			Recent:  t.Recent(n),
+			Slowest: t.Slowest(n),
+		}
+		body.Started, body.Ended = t.Counts()
+		if body.Recent == nil {
+			body.Recent = []TraceSummary{}
+		}
+		if body.Slowest == nil {
+			body.Slowest = []TraceSummary{}
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(body)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !body.Enabled {
+			fmt.Fprintln(w, "tracing disabled (start the daemon with -trace)")
+			return
+		}
+		fmt.Fprintf(w, "traces: %d started, %d completed, showing up to %d per section (?n=K, ?format=json)\n",
+			body.Started, body.Ended, n)
+		writeSection(w, "slowest", body.Slowest)
+		writeSection(w, "recent", body.Recent)
+	})
+}
+
+func writeSection(w http.ResponseWriter, title string, traces []TraceSummary) {
+	fmt.Fprintf(w, "\n== %s (%d) ==\n", title, len(traces))
+	for _, tr := range traces {
+		fmt.Fprintf(w, "\ntrace %s  %s  %s  started %s\n",
+			tr.TraceID, tr.Root, time.Duration(tr.DurationNs).Round(time.Microsecond),
+			tr.Start.Format(time.RFC3339Nano))
+		if tr.Dropped > 0 {
+			fmt.Fprintf(w, "  (%d spans dropped past the per-trace cap)\n", tr.Dropped)
+		}
+		writeSpanTree(w, tr.Spans)
+	}
+}
+
+// writeSpanTree renders spans as an indented tree under their parents,
+// siblings ordered by start time. Spans whose parent is not in the trace
+// (the root, and any span parented to a remote process's span) render at
+// the top level.
+func writeSpanTree(w http.ResponseWriter, spans []SpanData) {
+	byID := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = true
+	}
+	children := make(map[string][]SpanData)
+	var roots []SpanData
+	for _, s := range spans {
+		if s.ParentID != "" && byID[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(list []SpanData) {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
+	}
+	order(roots)
+	var walk func(s SpanData, depth int)
+	walk = func(s SpanData, depth int) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %s%-24s %10s", strings.Repeat("  ", depth), s.Name,
+			time.Duration(s.DurationNs).Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, "  %s=%s", a.Key, a.Value)
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&b, "  error=%q", s.Err)
+		}
+		fmt.Fprintln(w, b.String())
+		kids := children[s.SpanID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

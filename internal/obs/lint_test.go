@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []string { return LintExposition(strings.NewReader(s)) }
+
+func TestLintCleanExposition(t *testing.T) {
+	clean := `# HELP triosd_requests_total requests
+# TYPE triosd_requests_total counter
+triosd_requests_total{route="/v1/compile",code="200"} 41
+triosd_requests_total{route="/v1/compile",code="503"} 2
+# TYPE triosd_latency_seconds histogram
+triosd_latency_seconds_bucket{le="0.001"} 3
+triosd_latency_seconds_bucket{le="0.01"} 10
+triosd_latency_seconds_bucket{le="+Inf"} 12
+triosd_latency_seconds_sum 0.42
+triosd_latency_seconds_count 12
+# TYPE go_goroutines gauge
+go_goroutines 14
+`
+	if problems := lintString(clean); len(problems) != 0 {
+		t.Fatalf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestLintDuplicateSeries(t *testing.T) {
+	bad := `# TYPE a counter
+a{x="1"} 1
+a{x="1"} 2
+`
+	problems := lintString(bad)
+	if len(problems) != 1 || !strings.Contains(problems[0], "duplicate series") {
+		t.Fatalf("want one duplicate-series problem, got %v", problems)
+	}
+}
+
+func TestLintDuplicateSeriesLabelOrderInsensitive(t *testing.T) {
+	bad := `# TYPE a counter
+a{x="1",y="2"} 1
+a{y="2",x="1"} 2
+`
+	if problems := lintString(bad); len(problems) != 1 {
+		t.Fatalf("reordered labels not seen as duplicate: %v", problems)
+	}
+}
+
+func TestLintUnsortedBuckets(t *testing.T) {
+	bad := `# TYPE h histogram
+h_bucket{le="0.01"} 5
+h_bucket{le="0.001"} 3
+h_bucket{le="+Inf"} 9
+h_count 9
+`
+	problems := lintString(bad)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "unsorted buckets") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unsorted buckets not flagged: %v", problems)
+	}
+}
+
+func TestLintNonCumulativeBuckets(t *testing.T) {
+	bad := `# TYPE h histogram
+h_bucket{le="0.001"} 5
+h_bucket{le="0.01"} 3
+h_bucket{le="+Inf"} 5
+h_count 5
+`
+	problems := lintString(bad)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "non-cumulative") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-cumulative buckets not flagged: %v", problems)
+	}
+}
+
+func TestLintMissingInfBucket(t *testing.T) {
+	bad := `# TYPE h histogram
+h_bucket{le="0.001"} 5
+h_count 5
+`
+	problems := lintString(bad)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, `+Inf`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing +Inf not flagged: %v", problems)
+	}
+}
+
+func TestLintInfBucketCountMismatch(t *testing.T) {
+	bad := `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_count 7
+`
+	problems := lintString(bad)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "!= _count") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("+Inf/_count mismatch not flagged: %v", problems)
+	}
+}
+
+func TestLintInterleavedFamilies(t *testing.T) {
+	bad := `# TYPE a counter
+a 1
+# TYPE b counter
+b 1
+a 2
+`
+	problems := lintString(bad)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "interleaved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interleaving not flagged: %v", problems)
+	}
+}
+
+func TestLintMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"# TYPE a counter\na{x=1} 1\n",             // unquoted label value
+		"# TYPE a counter\na{x=\"1\"} \n",          // no value
+		"# TYPE a counter\na{x=\"1\"} zebra\n",     // non-float value
+		"# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n", // duplicate label key
+		"# TYPE a counter\na{x=\"1\" 1\n",          // unterminated label set
+		"# TYPE a counter\n{x=\"1\"} 1\n",          // no metric name
+	} {
+		if problems := lintString(bad); len(problems) == 0 {
+			t.Errorf("malformed exposition passed lint:\n%s", bad)
+		}
+	}
+}
+
+func TestLintUntypedSample(t *testing.T) {
+	problems := lintString("a 1\n")
+	if len(problems) != 1 || !strings.Contains(problems[0], "no preceding # TYPE") {
+		t.Fatalf("untyped sample: %v", problems)
+	}
+}
+
+func TestLintLabelEscapes(t *testing.T) {
+	ok := "# TYPE a counter\na{x=\"line\\nbreak \\\"q\\\" back\\\\slash\"} 1\n"
+	if problems := lintString(ok); len(problems) != 0 {
+		t.Fatalf("valid escapes flagged: %v", problems)
+	}
+	if problems := lintString("# TYPE a counter\na{x=\"bad\\q\"} 1\n"); len(problems) == 0 {
+		t.Fatal("invalid escape passed")
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strconv"
+)
+
+// gcPauseBounds are the `le` upper bounds (seconds) the runtime's GC pause
+// histogram is downsampled onto for exposition: the runtime publishes
+// hundreds of fine-grained buckets, far more than a scrape needs.
+var gcPauseBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// runtimeSamples names the runtime/metrics series exported on /metrics.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/objects:objects",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// WriteRuntimeMetrics renders Go runtime health — goroutine count, live heap
+// bytes and objects, GC cycle count, and the stop-the-world GC pause
+// histogram — in Prometheus text exposition format. Both daemons append it
+// to their /metrics output so a scrape sees process health next to serving
+// counters.
+func WriteRuntimeMetrics(w io.Writer) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	writeGauge := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			writeGauge("go_goroutines", s.Value.Uint64())
+		case "/memory/classes/heap/objects:bytes":
+			writeGauge("go_heap_live_bytes", s.Value.Uint64())
+		case "/gc/heap/objects:objects":
+			writeGauge("go_heap_objects", s.Value.Uint64())
+		case "/gc/cycles/total:gc-cycles":
+			fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", s.Value.Uint64())
+		case "/sched/pauses/total/gc:seconds":
+			writePauseHistogram(w, s.Value.Float64Histogram())
+		}
+	}
+}
+
+// writePauseHistogram downsamples the runtime's GC pause histogram onto
+// gcPauseBounds. Runtime bucket i spans [Buckets[i], Buckets[i+1]); a bucket
+// is counted under the first bound at or above its upper edge, so the
+// rendered cumulative counts are exact lower bounds and +Inf carries the
+// true total. The _sum is approximated from bucket midpoints (the runtime
+// histogram does not retain a sum).
+func writePauseHistogram(w io.Writer, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	cum := make([]uint64, len(gcPauseBounds))
+	var total uint64
+	var sum float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		total += count
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := midpoint(lo, hi)
+		sum += mid * float64(count)
+		for j, bound := range gcPauseBounds {
+			if hi <= bound {
+				cum[j] += count
+				break
+			}
+		}
+	}
+	// Make the buckets cumulative (le convention).
+	for j := 1; j < len(cum); j++ {
+		cum[j] += cum[j-1]
+	}
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds histogram\n")
+	for j, bound := range gcPauseBounds {
+		fmt.Fprintf(w, "go_gc_pause_seconds_bucket{le=%q} %d\n", strconv.FormatFloat(bound, 'g', -1, 64), cum[j])
+	}
+	fmt.Fprintf(w, "go_gc_pause_seconds_bucket{le=\"+Inf\"} %d\n", total)
+	fmt.Fprintf(w, "go_gc_pause_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "go_gc_pause_seconds_count %d\n", total)
+}
+
+// midpoint picks a representative value for a histogram bucket, tolerating
+// the runtime's +/-Inf edge buckets.
+func midpoint(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

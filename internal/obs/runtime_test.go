@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestWriteRuntimeMetricsLintsClean(t *testing.T) {
+	runtime.GC() // make sure at least one GC cycle exists for the pause histogram
+	var buf bytes.Buffer
+	WriteRuntimeMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_live_bytes gauge",
+		"# TYPE go_heap_objects gauge",
+		"# TYPE go_gc_cycles_total counter",
+		"# TYPE go_gc_pause_seconds histogram",
+		`go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+	if problems := LintExposition(strings.NewReader(out)); len(problems) != 0 {
+		t.Fatalf("runtime metrics fail own lint: %v\n%s", problems, out)
+	}
+}

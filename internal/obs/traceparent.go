@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// TraceparentHeader is the W3C Trace Context request header carrying
+// "00-<trace-id>-<parent-id>-<flags>"; TraceHeader is the response header
+// echoing the 32-hex trace ID so clients can join their observed latency to
+// the server-side span tree at /debug/traces.
+const (
+	TraceparentHeader = "traceparent"
+	TraceHeader       = "X-Trios-Trace"
+)
+
+// FormatSpanID renders a span ID in its 16-hex wire form.
+func FormatSpanID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// Traceparent renders the W3C header value for this span context, always
+// with version 00 and the sampled flag set.
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID.String() + "-" + FormatSpanID(sc.SpanID) + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts version
+// 00 (and, per spec, any higher version whose prefix matches the 00 layout),
+// and rejects malformed lengths, non-hex digits, and the all-zero trace and
+// span IDs. ok=false means "start a fresh trace", never an error.
+func ParseTraceparent(s string) (sc SpanContext, ok bool) {
+	// Layout: 2 (version) + 1 + 32 (trace id) + 1 + 16 (parent id) + 1 + 2
+	// (flags) = 55 bytes minimum; later versions may append "-..." suffixes.
+	if len(s) < 55 {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	version := s[0:2]
+	if !isHex(version) || version == "ff" {
+		return SpanContext{}, false
+	}
+	if version == "00" && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	traceHex, parentHex, flags := s[3:35], s[36:52], s[53:55]
+	// The spec mandates lowercase hex; isHex enforces it (DecodeString would
+	// also accept uppercase).
+	if !isHex(flags) || !isHex(traceHex) || !isHex(parentHex) {
+		return SpanContext{}, false
+	}
+	raw, err := hex.DecodeString(traceHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	copy(sc.TraceID[:], raw)
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, false
+	}
+	parent, err := strconv.ParseUint(parentHex, 16, 64)
+	if err != nil || parent == 0 {
+		return SpanContext{}, false
+	}
+	sc.SpanID = parent
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

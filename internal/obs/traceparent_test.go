@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.StartSpan(context.Background(), "x")
+	header := s.Context().Traceparent()
+	if !strings.HasPrefix(header, "00-") || !strings.HasSuffix(header, "-01") || len(header) != 55 {
+		t.Fatalf("malformed traceparent %q", header)
+	}
+	sc, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("own traceparent %q rejected", header)
+	}
+	if sc.TraceID != s.Context().TraceID || sc.SpanID != s.Context().SpanID {
+		t.Fatalf("round trip lost identity: %+v vs %+v", sc, s.Context())
+	}
+	s.End()
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",          // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // version 00 with trailing data
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase hex
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // non-hex version
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7xx-01",       // short trace id
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted malformed traceparent %q", h)
+		}
+	}
+}
+
+func TestParseTraceparentAcceptsFutureVersion(t *testing.T) {
+	h := "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-futurestuff"
+	sc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("future-version traceparent %q rejected", h)
+	}
+	if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id %s", sc.TraceID.String())
+	}
+	if FormatSpanID(sc.SpanID) != "00f067aa0ba902b7" {
+		t.Fatalf("span id %s", FormatSpanID(sc.SpanID))
+	}
+}

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"trios/internal/device"
+	"trios/internal/obs"
 	"trios/internal/store"
 	"trios/internal/template"
 	"trios/internal/topo"
@@ -24,7 +27,8 @@ const maxRequestBytes = 4 << 20
 //	GET  /v1/devices       — the device registry
 //	GET  /v1/calibrations  — the calibration registry
 //	GET  /healthz          — liveness + build identity (503 while draining)
-//	GET  /metrics          — Prometheus text exposition
+//	GET  /metrics          — Prometheus text exposition (+ Go runtime health)
+//	GET  /debug/traces     — recent + slowest request traces (when tracing is on)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
@@ -32,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/calibrations", s.handleCalibrations)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/traces", s.cfg.Tracer.DebugHandler())
 	return s.instrument(mux)
 }
 
@@ -46,13 +51,35 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// instrument wraps the mux with metrics and, for /v1/ routes, tracing: each
+// request gets a root span (joined to the caller's trace when a W3C
+// traceparent header is present — the fleet proxy injects one) and the trace
+// ID is echoed in the X-Trios-Trace response header so a client can find its
+// request at /debug/traces. Health polls and metric scrapes are deliberately
+// not traced; they would flood the ring with noise.
 func (s *Service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		var span *obs.Span
+		if s.cfg.Tracer != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+			ctx := r.Context()
+			name := r.Method + " " + r.URL.Path
+			if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+				ctx, span = s.cfg.Tracer.StartRemoteSpan(ctx, name, sc)
+			} else {
+				ctx, span = s.cfg.Tracer.StartSpan(ctx, name)
+			}
+			w.Header().Set(obs.TraceHeader, span.TraceIDString())
+			r = r.WithContext(ctx)
+		}
 		next.ServeHTTP(sw, r)
+		if span != nil {
+			span.SetAttr("status", strconv.Itoa(sw.code))
+			span.End()
+		}
 		s.metrics.countResponse(sw.code, time.Since(start).Seconds())
 	})
 }
@@ -90,8 +117,12 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	span := obs.SpanFromContext(r.Context())
 	if s.cfg.Templates != nil {
-		if err := spec.AttachTemplates(s.cfg.Templates); err != nil {
+		tspan := span.Child("template:attach")
+		err := spec.AttachTemplates(s.cfg.Templates)
+		tspan.End()
+		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -117,6 +148,8 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	span.SetAttr("outcome", outcome)
+	span.SetAttr("key", art.Key)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Trios-Cache", outcome)
 	w.Header().Set("X-Trios-Key", art.Key)
@@ -275,4 +308,5 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		tmplStats = &st
 	}
 	s.metrics.write(w, s.cache.Stats(), storeStats, tmplStats, qlen, qcap)
+	obs.WriteRuntimeMetrics(w)
 }

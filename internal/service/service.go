@@ -8,8 +8,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trios/internal/compiler"
+	"trios/internal/obs"
 	"trios/internal/qasm"
 	"trios/internal/store"
 	"trios/internal/template"
@@ -38,6 +40,14 @@ type Config struct {
 	// artifact key, so enabling or swapping the library never aliases cached
 	// artifacts compiled without it.
 	Templates *template.Store
+	// Tracer, when non-nil, records a span tree per /v1/ request (cache probe,
+	// singleflight, queue wait, per-pass compile, write-behind flush) into an
+	// in-process ring served at GET /debug/traces. Nil disables tracing; every
+	// span call site degrades to a no-op.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives structured warnings for conditions the
+	// service absorbs rather than surfaces (store write/decode failures).
+	Logger *obs.Logger
 }
 
 var (
@@ -73,9 +83,12 @@ type Service struct {
 	// Write-behind machinery for the persistent tier: cold compiles enqueue
 	// here and a single writer goroutine lands them on disk off the request
 	// path. Close stops the writer only after sweeping the queue dry, so a
-	// graceful drain hands every dirty entry to the store.
+	// graceful drain hands every dirty entry to the store. Each item carries
+	// the request's store:flush span so the flush latency (queue wait + disk
+	// write) lands in the originating trace even though it completes after the
+	// response was sent.
 	store      *store.Store
-	storeQueue chan *Artifact
+	storeQueue chan storeItem
 	storeStop  chan struct{}
 	storeDone  chan struct{}
 
@@ -117,7 +130,7 @@ func New(cfg Config) *Service {
 	}
 	if cfg.Store != nil {
 		s.store = cfg.Store
-		s.storeQueue = make(chan *Artifact, 256)
+		s.storeQueue = make(chan storeItem, 256)
 		s.storeStop = make(chan struct{})
 		s.storeDone = make(chan struct{})
 		go s.storeWriter()
@@ -158,12 +171,19 @@ func (s *Service) dispatch(out <-chan compiler.JobResult) {
 // their Body bytes are identical by construction; disk hits serve the exact
 // bytes the original cold compile wrote, digest-verified by the store.
 func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, outcome string, err error) {
+	parent := obs.SpanFromContext(ctx)
+	l1 := parent.Child("cache:l1")
 	if a, ok := s.cache.Get(spec.Key); ok {
+		l1.SetAttr("hit", "true")
+		l1.End()
 		s.metrics.countOutcome("hit")
 		return a, "hit", nil
 	}
+	l1.SetAttr("hit", "false")
+	l1.End()
 	servedFromCache := false
 	servedFromStore := false
+	fl := parent.Child("flight")
 	a, shared, err := s.flight.do(ctx, spec.Key, func() (*Artifact, error) {
 		// Re-check under the flight: a caller that missed the cache may have
 		// raced an identical compile that finished (and left the flight map)
@@ -177,12 +197,20 @@ func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, ou
 		// Second tier: a verified body on disk beats a recompile. The revived
 		// artifact is promoted into the in-memory LRU so the next lookup is a
 		// plain hit.
+		var probe *obs.Span
+		if s.store != nil {
+			probe = parent.Child("store:probe")
+		}
 		if a, ok := s.storeGet(spec.Key); ok {
+			probe.SetAttr("hit", "true")
+			probe.End()
 			servedFromStore = true
 			s.cache.Add(spec.Key, a)
 			return a, nil
 		}
-		a, err := s.submit(spec)
+		probe.SetAttr("hit", "false")
+		probe.End()
+		a, err := s.submit(spec, parent)
 		if err != nil {
 			return nil, err
 		}
@@ -200,6 +228,16 @@ func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, ou
 	case servedFromStore:
 		outcome = "hit-disk"
 	}
+	if shared {
+		fl.SetAttr("role", "follower")
+	} else {
+		fl.SetAttr("role", "leader")
+	}
+	fl.SetAttr("outcome", outcome)
+	if err != nil {
+		fl.SetError(err)
+	}
+	fl.End()
 	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.metrics.countRejected()
@@ -219,7 +257,7 @@ func (s *Service) Compile(ctx context.Context, spec *JobSpec) (art *Artifact, ou
 // by the compile itself. A leader whose client disconnects therefore still
 // populates the cache instead of poisoning its followers with its own
 // context error.
-func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
+func (s *Service) submit(spec *JobSpec, parent *obs.Span) (*Artifact, error) {
 	if s.closing.Load() {
 		return nil, ErrDraining
 	}
@@ -234,6 +272,7 @@ func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
 	s.waiters[id] = ch
 	s.mu.Unlock()
 	job := compiler.Job{ID: id, Input: spec.Input, Graph: spec.Graph, Opts: spec.Opts, FrontKey: spec.InputDigest}
+	enq := time.Now()
 	select {
 	case s.queue <- job:
 	default:
@@ -243,6 +282,7 @@ func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
 		return nil, ErrOverloaded
 	}
 	jr := <-ch
+	done := time.Now()
 	if jr.Err != nil {
 		// The pool cancels compiles only at shutdown; surface that as the
 		// drain, not as a defect of the request.
@@ -251,6 +291,7 @@ func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
 		}
 		return nil, &CompileError{Err: jr.Err}
 	}
+	s.recordCompileSpans(parent, jr, enq, done)
 	s.metrics.compileHist.observe(jr.Elapsed.Seconds())
 	a, err := buildArtifact(spec, jr)
 	if err != nil {
@@ -261,8 +302,55 @@ func (s *Service) submit(spec *JobSpec) (*Artifact, error) {
 	// Close waits for inflight before sweeping the write-behind queue, so
 	// every successfully compiled artifact is on disk when a graceful drain
 	// returns.
-	s.storePut(a)
+	s.storePut(a, parent)
 	return a, nil
+}
+
+// recordCompileSpans reconstructs the worker-side spans of one cold compile
+// from the pool's timing data. The worker pool does not thread spans through
+// the compiler; instead the result's Elapsed and per-pass durations are laid
+// out backwards from the result's arrival time — the passes ran sequentially
+// at the end of Elapsed, so the pipeline window is [done - sum(passes),
+// done]. What Elapsed spent before the first timed pass (front-cache lookup,
+// cost-model checks, the one-time distance-oracle build) lands in an explicit
+// compile:prep span, so the compile span's per-pass children sum to its
+// duration exactly instead of silently under-accounting. Pass metrics served
+// from the front cache are marked cached with zero duration: the pass did
+// not run for this request.
+func (s *Service) recordCompileSpans(parent *obs.Span, jr compiler.JobResult, enq, done time.Time) {
+	if parent == nil {
+		return
+	}
+	var passSum time.Duration
+	for _, p := range jr.Result.Passes {
+		if !p.Cached {
+			passSum += p.Duration
+		}
+	}
+	compileStart := done.Add(-jr.Elapsed)
+	if compileStart.Before(enq) { // clock skew guard: the wait cannot be negative
+		compileStart = enq
+	}
+	pipelineStart := done.Add(-passSum)
+	if pipelineStart.Before(compileStart) { // pass timers cannot exceed Elapsed
+		pipelineStart = compileStart
+	}
+	qw := parent.ChildAt("queue:wait", enq)
+	qw.EndAt(compileStart)
+	prep := parent.ChildAt("compile:prep", compileStart)
+	prep.EndAt(pipelineStart)
+	cs := parent.ChildAt("compile", pipelineStart)
+	cursor := pipelineStart
+	for _, p := range jr.Result.Passes {
+		pc := cs.ChildAt("pass:"+p.Pass, cursor)
+		if p.Cached {
+			pc.SetAttr("cached", "true")
+		} else {
+			cursor = cursor.Add(p.Duration)
+		}
+		pc.EndAt(cursor)
+	}
+	cs.EndAt(done)
 }
 
 // storeGet probes the persistent tier and revives its pre-marshaled body
@@ -282,23 +370,35 @@ func (s *Service) storeGet(key string) (*Artifact, bool) {
 		// Digest-verified bytes that fail to decode mean a schema break, not
 		// corruption; treat as a miss and let the recompile overwrite.
 		s.metrics.countStoreDecodeError()
+		s.cfg.Logger.Warn("store body failed to decode, recompiling", "key", key, "err", err.Error())
 		return nil, false
 	}
 	a.Body = body
 	return a, true
 }
 
+// storeItem is one write-behind unit: the artifact plus the originating
+// request's store:flush span (nil when tracing is off). The span was opened
+// at enqueue time, so its duration is queue wait + disk write — the full
+// write-behind latency — and it lands in the already-published trace.
+type storeItem struct {
+	a    *Artifact
+	span *obs.Span
+}
+
 // storePut hands a fresh artifact to the write-behind writer. A full queue
 // falls back to writing in the request path: disk backpressure on one cold
 // compile beats silently losing warm-restart data.
-func (s *Service) storePut(a *Artifact) {
+func (s *Service) storePut(a *Artifact, parent *obs.Span) {
 	if s.store == nil {
 		return
 	}
+	flush := parent.Child("store:flush")
 	select {
-	case s.storeQueue <- a:
+	case s.storeQueue <- storeItem{a, flush}:
 	default:
-		s.writeThrough(a)
+		flush.SetAttr("inline", "true")
+		s.writeThrough(storeItem{a, flush})
 	}
 }
 
@@ -309,13 +409,13 @@ func (s *Service) storeWriter() {
 	defer close(s.storeDone)
 	for {
 		select {
-		case a := <-s.storeQueue:
-			s.writeThrough(a)
+		case it := <-s.storeQueue:
+			s.writeThrough(it)
 		case <-s.storeStop:
 			for {
 				select {
-				case a := <-s.storeQueue:
-					s.writeThrough(a)
+				case it := <-s.storeQueue:
+					s.writeThrough(it)
 				default:
 					return
 				}
@@ -324,10 +424,13 @@ func (s *Service) storeWriter() {
 	}
 }
 
-func (s *Service) writeThrough(a *Artifact) {
-	if err := s.store.Put(a.Key, a.Body); err != nil && !errors.Is(err, store.ErrClosed) {
+func (s *Service) writeThrough(it storeItem) {
+	if err := s.store.Put(it.a.Key, it.a.Body); err != nil && !errors.Is(err, store.ErrClosed) {
 		s.metrics.countStoreWriteError()
+		s.cfg.Logger.Warn("store write-behind put failed", "key", it.a.Key, "err", err.Error())
+		it.span.SetError(err)
 	}
+	it.span.End()
 }
 
 // Store exposes the persistent tier (nil when the daemon runs memory-only).

@@ -49,7 +49,10 @@ if [ -z "$up" ]; then
     exit 1
 fi
 
-"$bindir/loadgen" -addr "http://$ADDR" -duration "$DUR" -concurrency "$CONC" -out "$OUT"
+# -check-traces: the daemon traces by default, so after the mix the trace
+# ring must hold a non-empty slowest trace (asserts the observability path
+# stayed wired through the serving stack).
+"$bindir/loadgen" -addr "http://$ADDR" -duration "$DUR" -concurrency "$CONC" -out "$OUT" -check-traces
 
 # Graceful shutdown must complete on its own.
 kill -TERM "$pid"

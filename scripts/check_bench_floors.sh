@@ -19,6 +19,12 @@
 #                      equivalence_ok == true, and
 #                      template_min_speedup >= TEMPLATE_MIN_SPEEDUP (default 1.5)
 #
+#   BENCH_obs.json     (optional fourth argument) tracing_on_vs_off_ratio >=
+#                      OBS_MIN_RATIO (default 0.95: request tracing may cost
+#                      at most 5% of throughput), with phases obs-on and
+#                      obs-off both present and the on-phase traced end to
+#                      end (traced_requests > 0, slowest_trace recorded)
+#
 # The parallel floor only applies on multi-core hosts: on a single-core
 # machine goroutines cannot run concurrently, so the speedup is ~1.0 by
 # physics, not by regression (the JSON records num_cpu so the skip is
@@ -30,12 +36,15 @@ SIM_MIN_SPEEDUP="${SIM_MIN_SPEEDUP:-1.2}"
 KERNEL_MIN_SPEEDUP="${KERNEL_MIN_SPEEDUP:-1.2}"
 OPT_MIN_BETTER="${OPT_MIN_BETTER:-8}"
 TEMPLATE_MIN_SPEEDUP="${TEMPLATE_MIN_SPEEDUP:-1.5}"
+OBS_MIN_RATIO="${OBS_MIN_RATIO:-0.95}"
 SIM_JSON="${1:-BENCH_sim.json}"
 KERNEL_JSON="${2:-BENCH_kernels.json}"
 OPT_JSON="${3:-}"
+OBS_JSON="${4:-}"
 
 python3 - "$SIM_JSON" "$KERNEL_JSON" "$SIM_MIN_SPEEDUP" "$KERNEL_MIN_SPEEDUP" \
-    "$OPT_JSON" "$OPT_MIN_BETTER" "$TEMPLATE_MIN_SPEEDUP" <<'PY'
+    "$OPT_JSON" "$OPT_MIN_BETTER" "$TEMPLATE_MIN_SPEEDUP" \
+    "$OBS_JSON" "$OBS_MIN_RATIO" <<'PY'
 import json
 import sys
 
@@ -43,6 +52,7 @@ sim_path, kernel_path, sim_min, kernel_min = (
     sys.argv[1], sys.argv[2], float(sys.argv[3]), float(sys.argv[4]))
 opt_path, opt_min_better, template_min = (
     sys.argv[5], int(sys.argv[6]), float(sys.argv[7]))
+obs_path, obs_min_ratio = sys.argv[8], float(sys.argv[9])
 failed = False
 
 
@@ -117,6 +127,35 @@ if opt_path:
         fail(f"{opt_path}: template_min_speedup {tmin:.2f} < floor {template_min}")
     else:
         print(f"{opt_path}: template_min_speedup {tmin:.1f} >= {template_min} ok")
+
+if obs_path:
+    obs = json.load(open(obs_path))
+    phases = obs.get("phases", {})
+    on, off = phases.get("obs-on"), phases.get("obs-off")
+    if on is None or off is None:
+        fail(f"{obs_path}: needs both obs-on and obs-off phases "
+             f"(have {sorted(phases)})")
+    else:
+        ratio = obs.get("tracing_on_vs_off_ratio")
+        if ratio is None:
+            fail(f"{obs_path}: tracing_on_vs_off_ratio missing")
+        elif ratio < obs_min_ratio:
+            fail(f"{obs_path}: tracing_on_vs_off_ratio {ratio:.3f} "
+                 f"< floor {obs_min_ratio}")
+        else:
+            print(f"{obs_path}: tracing_on_vs_off_ratio {ratio:.3f} "
+                  f">= {obs_min_ratio} ok ({on['throughput_rps']:.0f} rps on "
+                  f"vs {off['throughput_rps']:.0f} rps off)")
+        if on.get("traced_requests", 0) < 1 or not on.get("slowest_trace"):
+            fail(f"{obs_path}: obs-on phase was not traced end to end "
+                 f"(traced_requests={on.get('traced_requests', 0)}, "
+                 f"slowest_trace={on.get('slowest_trace')!r})")
+        else:
+            print(f"{obs_path}: obs-on traced {on['traced_requests']} requests, "
+                  f"slowest trace {on['slowest_trace']}")
+        if off.get("traced_requests", 0) != 0:
+            fail(f"{obs_path}: obs-off phase unexpectedly traced "
+                 f"{off['traced_requests']} requests")
 
 sys.exit(1 if failed else 0)
 PY
