@@ -7,7 +7,7 @@ GO ?= go
 GOMAXPROCS ?= 4
 BENCH_ENV = GOMAXPROCS=$(GOMAXPROCS)
 
-.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-optimize bench-service bench-fleet bench-obs fleet serve loadgen lint vet fmt fmt-check bench-json fuzz-rewrite
+.PHONY: all build test race bench bench-route bench-sim bench-kernels bench-noise bench-optimize bench-stream bench-service bench-fleet bench-obs fleet serve loadgen lint vet fmt fmt-check bench-json fuzz-rewrite fuzz-stream
 
 all: build test
 
@@ -23,7 +23,7 @@ test:
 # cache/singleflight/admission machinery, the persistent artifact store, and
 # the fleet proxy's routing/health paths.
 race:
-	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/... ./internal/rewrite/... ./internal/template/... ./internal/obs/...
+	$(GO) test -race ./internal/compiler/... ./internal/route/... ./internal/topo/... ./internal/sim/... ./internal/stab/... ./internal/service/... ./internal/device/... ./internal/store/... ./internal/fleet/... ./internal/experiments/... ./internal/rewrite/... ./internal/template/... ./internal/obs/... ./internal/stream/... ./internal/qasm/...
 
 # Bench smoke: run every benchmark exactly once in short mode so the
 # compile-path benchmarks cannot silently rot. Not a timing run.
@@ -73,6 +73,25 @@ bench-noise:
 bench-optimize:
 	$(BENCH_ENV) $(GO) run ./cmd/experiments -opt-bench BENCH_optimize.json $(OPT_BENCH_FLAGS) > BENCH_optimize.txt
 	cat BENCH_optimize.txt
+
+# Streaming-compile benchmark: the serial vs channel-pipelined window
+# drivers on a generated million-gate Clifford+T stream (bit-identical
+# outputs asserted in-run), plus subprocess peak-RSS samples showing memory
+# is governed by the window, not the circuit length. Writes
+# BENCH_stream.json and a BENCH_stream.txt summary; exits nonzero if the
+# streamed output diverges from the monolithic golden arm or peak RSS
+# exceeds the window budget. STREAM_BENCH_FLAGS=-stream-short shrinks the
+# gate counts for CI.
+bench-stream:
+	$(BENCH_ENV) $(GO) run ./cmd/experiments -stream-bench BENCH_stream.json $(STREAM_BENCH_FLAGS) > BENCH_stream.txt
+	cat BENCH_stream.txt
+
+# Streaming-parser fuzz: FuzzStreamParse holds the pull-based QASM reader to
+# the in-memory parser gate for gate, with bounded errors on oversized
+# statements. The corpus-backed check runs in `make test`; this fuzzes
+# beyond it.
+fuzz-stream:
+	$(GO) test -run '^$$' -fuzz FuzzStreamParse -fuzztime 30s ./internal/qasm/
 
 # Confluence fuzz: random rule-application orders (seeded pop orders) must
 # saturate to the same final gate counts. The smoke test runs in `make

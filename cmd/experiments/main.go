@@ -13,12 +13,15 @@
 //	experiments -exp mc-toffoli,mc-rp -mc-shots 128   # trajectory Monte-Carlo suites
 //	experiments -bench-json BENCH_compile.json
 //	experiments -sim-bench BENCH_sim.json
+//	experiments -stream-bench BENCH_stream.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 
 	"trios/internal/experiments"
@@ -27,7 +30,55 @@ import (
 	"trios/internal/version"
 )
 
+// streamRSSChildEnv carries the parameters of a streaming-compile RSS
+// sample; when set, the process runs only that compile, prints its peak RSS
+// in bytes, and exits. RunStreamBench self-execs with it so each RSS sample
+// is a fresh address space.
+const streamRSSChildEnv = "TRIOS_STREAM_RSS_CHILD"
+
+func streamRSSChild(raw string) {
+	var p experiments.StreamRSSParams
+	if err := json.Unmarshal([]byte(raw), &p); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rss, err := experiments.StreamRSSChild(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(rss)
+	os.Exit(0)
+}
+
+// streamRSSExec runs one RSS sample in a child copy of this binary.
+func streamRSSExec(p experiments.StreamRSSParams) (int64, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return 0, err
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return 0, err
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), streamRSSChildEnv+"="+string(raw))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("stream RSS child: %w", err)
+	}
+	var rss int64
+	if _, err := fmt.Sscan(strings.TrimSpace(string(out)), &rss); err != nil {
+		return 0, fmt.Errorf("stream RSS child output %q: %w", out, err)
+	}
+	return rss, nil
+}
+
 func main() {
+	if raw := os.Getenv(streamRSSChildEnv); raw != "" {
+		streamRSSChild(raw)
+	}
 	var (
 		exp         = flag.String("exp", "all", "comma-separated experiments: table1, fig1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, all, or the opt-in trajectory suites mc-toffoli, mc-rp (not included in all)")
 		triplets    = flag.Int("triplets", 35, "random qubit triples for the Toffoli experiments (fig6/fig7; fig8 uses 99)")
@@ -42,6 +93,8 @@ func main() {
 		noiseShort  = flag.Bool("noise-short", false, "shrink the noise-aware sweep to a CI-sized subset of benchmarks and topologies")
 		optJSON     = flag.String("opt-bench", "", "run only the optimizer benchmark (legacy cancel loop vs saturating rewrite engine across the Table-1 grid, plus template-warm cold-compile latency) and write its JSON report here (e.g. BENCH_optimize.json); a text summary goes to stdout")
 		optShort    = flag.Bool("opt-short", false, "shrink the optimizer benchmark to a CI-sized subset of benchmarks and topologies")
+		streamJSON  = flag.String("stream-bench", "", "run only the streaming-compile benchmark (serial vs pipelined window drivers plus subprocess peak-RSS samples on generated million-gate streams) and write its JSON report here (e.g. BENCH_stream.json); a text summary goes to stdout")
+		streamShort = flag.Bool("stream-short", false, "shrink the streaming benchmark to CI-sized gate counts")
 		mcShots     = flag.Int("mc-shots", 64, "trajectory Monte-Carlo shots for the mc-toffoli/mc-rp experiments")
 		mcTrips     = flag.Int("mc-triplets", 4, "random triplets for the mc-toffoli experiment")
 		showVersion = flag.Bool("version", false, "print build version and exit")
@@ -102,6 +155,41 @@ func main() {
 		report.WriteText(os.Stdout)
 		if !report.Identical {
 			fmt.Fprintln(os.Stderr, "kernel bench: a branch-free arm diverged from its legacy arm")
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *streamJSON != "" {
+		report, err := experiments.RunStreamBench(experiments.StreamBenchOptions{
+			Seed:    *seed,
+			Short:   *streamShort,
+			RSSExec: streamRSSExec,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*streamJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.WriteText(os.Stdout)
+		if !report.EquivalenceOK {
+			fmt.Fprintln(os.Stderr, "stream bench: streaming output diverged from the monolithic golden arm")
+			os.Exit(1)
+		}
+		if report.PeakRSSBytes > report.WindowBudgetBytes {
+			fmt.Fprintln(os.Stderr, "stream bench: peak RSS exceeded the window budget")
 			os.Exit(1)
 		}
 		return

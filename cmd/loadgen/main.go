@@ -36,14 +36,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"trios/internal/benchmarks"
 	"trios/internal/obs"
 	"trios/internal/service"
 	"trios/internal/version"
@@ -68,6 +71,14 @@ type options struct {
 
 	minTracingRatio float64
 	checkTraces     bool
+
+	// Streaming mode: when streamGates > 0 the workers drive POST
+	// /v1/compile/stream with generated QASM streams instead of replaying
+	// the JSON benchmark mix.
+	streamGates  int
+	streamKind   string
+	streamQubits int
+	streamWindow int
 }
 
 func main() {
@@ -88,6 +99,10 @@ func main() {
 	flag.Float64Var(&opts.minSpeedup, "min-speedup", -1, "fail unless fleet_vs_single_speedup (needs phases fleet and single) reaches this")
 	flag.Float64Var(&opts.minTracingRatio, "min-tracing-ratio", -1, "fail unless tracing_on_vs_off_ratio (needs phases obs-on and obs-off) reaches this")
 	flag.BoolVar(&opts.checkTraces, "check-traces", false, "after the run, fetch /debug/traces and fail unless a non-empty slowest trace was retained")
+	flag.IntVar(&opts.streamGates, "stream-gates", 0, "drive POST /v1/compile/stream with generated circuits of this many gates instead of the JSON mix (0 = off)")
+	flag.StringVar(&opts.streamKind, "stream-kind", "cliffordt", "generated stream workload: qaoa or cliffordt (with -stream-gates)")
+	flag.IntVar(&opts.streamQubits, "stream-qubits", 16, "qubit count of generated streams (with -stream-gates)")
+	flag.IntVar(&opts.streamWindow, "stream-window", 0, "per-request ?window=N override for streaming requests (0 = server default)")
 	ping := flag.Bool("ping", false, "probe GET /healthz and exit 0 when the daemon is up")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
@@ -128,6 +143,9 @@ type sample struct {
 	cache   string // X-Trios-Cache: hit | hit-disk | miss | coalesced (2xx only)
 	replica string // X-Trios-Replica when a fleet proxy answered
 	trace   string // X-Trios-Trace when the daemon traces requests
+	// retryAfter is the admission backoff on a 429 (Retry-After header,
+	// floored at 100ms); stream workers wait it out and resubmit.
+	retryAfter time.Duration
 }
 
 // Report is the per-run schema: BENCH_service.json, or one phase of
@@ -194,6 +212,9 @@ type FleetReport struct {
 func run(opts options) error {
 	if opts.concurrency < 1 {
 		return fmt.Errorf("concurrency must be >= 1")
+	}
+	if opts.streamGates > 0 {
+		return runStream(opts)
 	}
 	benches := splitList(opts.mix)
 	pipes := splitList(opts.pipelines)
@@ -328,6 +349,176 @@ func run(opts options) error {
 		}
 	}
 	return assert(opts, rep, fleetRep)
+}
+
+// runStream is the -stream-gates mode: each worker posts a freshly generated
+// QASM stream (distinct seed per request, so every compile is distinct work)
+// to /v1/compile/stream and drains the chunked response. The cache is
+// bypassed by the endpoint, so the report's hit rate is structurally zero;
+// throughput and latency are the signal.
+func runStream(opts options) error {
+	var gen func(n, gates int, seed int64) io.Reader
+	switch opts.streamKind {
+	case "qaoa":
+		gen = benchmarks.StreamQAOA
+	case "cliffordt":
+		gen = benchmarks.StreamCliffordT
+	default:
+		return fmt.Errorf("unknown -stream-kind %q (want qaoa or cliffordt)", opts.streamKind)
+	}
+	pipes := splitList(opts.pipelines)
+	if len(pipes) == 0 {
+		return fmt.Errorf("empty -pipelines")
+	}
+	base := strings.TrimSuffix(opts.addr, "/") + "/v1/compile/stream"
+	client := &http.Client{Timeout: 10 * time.Minute} // a stream holds its connection for the whole compile
+	ctx, cancel := context.WithTimeout(context.Background(), opts.duration)
+	defer cancel()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	perWorker := make([][]sample, opts.concurrency)
+	start := time.Now()
+	for w := 0; w < opts.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if opts.requests > 0 && i >= int64(opts.requests) {
+					return
+				}
+				q := url.Values{}
+				q.Set("topology", opts.topology)
+				q.Set("pipeline", pipes[i%int64(len(pipes))])
+				q.Set("seed", fmt.Sprintf("%d", opts.seed))
+				if opts.streamWindow > 0 {
+					q.Set("window", fmt.Sprintf("%d", opts.streamWindow))
+				}
+				// Streams bypass the daemon's job queue and are admitted
+				// against the worker budget directly, so a closed-loop
+				// harness with more workers than the daemon sees 429 +
+				// Retry-After. Honor it like a real client: back off and
+				// regenerate the body (the reader was consumed).
+				var s sample
+				for {
+					var err error
+					body := gen(opts.streamQubits, opts.streamGates, opts.seed+i)
+					s, err = shootStream(ctx, client, base+"?"+q.Encode(), body)
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						s = sample{status: 0}
+					}
+					if s.status != http.StatusTooManyRequests {
+						break
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(s.retryAfter):
+					}
+				}
+				perWorker[w] = append(perWorker[w], s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed; is triosd running at %s?", opts.addr)
+	}
+	rep := summarize(all, elapsed)
+	rep.Config.Addr = opts.addr
+	rep.Config.Concurrency = opts.concurrency
+	rep.Config.Mix = []string{fmt.Sprintf("stream:%s-%dq-%dg", opts.streamKind, opts.streamQubits, opts.streamGates)}
+	rep.Config.Pipelines = pipes
+	rep.Config.Topology = opts.topology
+	rep.Config.Seed = opts.seed
+	rep.Config.DistinctBodies = rep.Requests // every stream is a distinct seed
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.EffectiveWorkers = opts.concurrency
+
+	var fleetRep *FleetReport
+	if opts.phase != "" {
+		var err error
+		if fleetRep, err = mergePhase(opts.out, opts.phase, rep); err != nil {
+			return err
+		}
+	} else if opts.out != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("loadgen: %d streams (%d gates each) in %.2fs  %.2f streams/s  p50 %.0fms  p95 %.0fms  errors %d\n",
+		rep.Requests, opts.streamGates, rep.DurationSeconds, rep.ThroughputRPS,
+		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.Errors)
+	if opts.out != "" {
+		fmt.Printf("loadgen: wrote %s\n", opts.out)
+	}
+	if float64(rep.Errors) > 0.01*float64(rep.Requests) {
+		return fmt.Errorf("error rate %.1f%% exceeds 1%%", 100*float64(rep.Errors)/float64(rep.Requests))
+	}
+	return assert(opts, rep, fleetRep)
+}
+
+// shootStream posts one generated stream and drains the chunked response,
+// requiring the stats trailer that marks a complete, successful compile.
+func shootStream(ctx context.Context, client *http.Client, url string, body io.Reader) (sample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return sample{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{}, err
+	}
+	defer resp.Body.Close()
+	// Drain while keeping a rolling 64 KiB tail: the trailer on the last
+	// line decides success.
+	const keep = 64 << 10
+	var tail []byte
+	buf := make([]byte, keep)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			tail = append(tail, buf[:n]...)
+			if len(tail) > keep {
+				copy(tail, tail[len(tail)-keep:])
+				tail = tail[:keep]
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	s := sample{
+		latency:    time.Since(start),
+		status:     resp.StatusCode,
+		cache:      resp.Header.Get("X-Trios-Cache"),
+		replica:    resp.Header.Get("X-Trios-Replica"),
+		trace:      resp.Header.Get(obs.TraceHeader),
+		retryAfter: 100 * time.Millisecond,
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		s.retryAfter = time.Duration(secs) * time.Second
+	}
+	if s.status == http.StatusOK && !bytes.Contains(tail, []byte("// trios-stream: ")) {
+		s.status = 0 // 200 without a trailer is a failed or truncated stream
+	}
+	return s, nil
 }
 
 // mergePhase folds rep into the FleetReport at path under phases[name],

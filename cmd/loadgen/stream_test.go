@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trios/internal/service"
+)
+
+// TestRunStreamAgainstService drives the -stream-gates mode end to end
+// against an in-process service and checks the written report.
+func TestRunStreamAgainstService(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_stream_load.json")
+	opts := options{
+		addr:         ts.URL,
+		concurrency:  2,
+		duration:     time.Minute,
+		requests:     4,
+		pipelines:    "baseline,trios",
+		topology:     "johannesburg",
+		seed:         1,
+		out:          out,
+		minHitRate:   -1,
+		minDiskHits:  -1,
+		minSpeedup:   -1,
+		streamGates:  5000,
+		streamKind:   "cliffordt",
+		streamQubits: 14,
+		streamWindow: 512,
+
+		minTracingRatio: -1,
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4 || rep.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d status=%v", rep.Requests, rep.Errors, rep.StatusCounts)
+	}
+	if rep.StatusCounts["200"] != 4 {
+		t.Fatalf("status counts: %v", rep.StatusCounts)
+	}
+	if len(rep.Config.Mix) != 1 || rep.Config.Mix[0] != "stream:cliffordt-14q-5000g" {
+		t.Fatalf("mix: %v", rep.Config.Mix)
+	}
+}
+
+// TestRunStreamRetriesAdmission overloads a 1-worker daemon with 2 stream
+// workers: the surplus stream is admitted only after a 429 + Retry-After
+// backoff, which the worker loop must absorb — every request ends 200.
+func TestRunStreamRetriesAdmission(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_stream_retry.json")
+	opts := options{
+		addr:         ts.URL,
+		concurrency:  2,
+		duration:     time.Minute,
+		requests:     4,
+		pipelines:    "trios",
+		topology:     "johannesburg",
+		seed:         5,
+		out:          out,
+		minHitRate:   -1,
+		minDiskHits:  -1,
+		minSpeedup:   -1,
+		streamGates:  20000,
+		streamKind:   "qaoa",
+		streamQubits: 12,
+
+		minTracingRatio: -1,
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4 || rep.Errors != 0 || rep.StatusCounts["200"] != 4 {
+		t.Fatalf("requests=%d errors=%d status=%v", rep.Requests, rep.Errors, rep.StatusCounts)
+	}
+}
+
+func TestRunStreamRejectsBadKind(t *testing.T) {
+	opts := options{concurrency: 1, streamGates: 10, streamKind: "nosuch", pipelines: "trios"}
+	if err := run(opts); err == nil {
+		t.Fatal("expected an error for -stream-kind nosuch")
+	}
+}

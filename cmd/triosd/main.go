@@ -9,6 +9,12 @@
 // plus Go runtime health. SIGINT/SIGTERM drains gracefully: in-flight
 // compiles finish (up to -grace), new work is refused with 503.
 //
+// POST /v1/compile/stream compiles a raw OpenQASM 2.0 body of unbounded
+// length in fixed memory, streaming the compiled program back window by
+// window (options as query parameters; -stream-window sets the default
+// window size). The compile cache is bypassed (X-Trios-Cache: bypass) and a
+// final "// trios-stream:" comment carries the run's stats.
+//
 // With -store-dir the in-memory cache is backed by a disk-based,
 // content-addressed artifact store: cold compiles are written through and a
 // restarted daemon serves a previously-seen mix warm (X-Trios-Cache:
@@ -82,6 +88,7 @@ type serveConfig struct {
 	cacheSize     int
 	storeDir      string
 	storeMaxBytes int64
+	streamWindow  int
 	templates     bool
 	templateWarm  string
 	grace         time.Duration
@@ -111,6 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		cacheSize     = fs.Int("cache", 512, "compile cache capacity in artifacts")
 		storeDir      = fs.String("store-dir", "", "persistent artifact store directory ('' = memory-only; restarts are cold)")
 		storeMaxBytes = fs.Int64("store-max-bytes", store.DefaultMaxBytes, "artifact store byte budget; LRU entries beyond it are evicted")
+		streamWindow  = fs.Int("stream-window", 0, "default gate-window size for /v1/compile/stream (0 = built-in default; requests may override with ?window=N)")
 		templates     = fs.Bool("templates", false, "precompile the template library at startup and serve or stitch matching requests from fragments")
 		templateWarm  = fs.String("template-warm", "johannesburg", "comma-separated topologies to warm template fragments for (with -templates)")
 		grace         = fs.Duration("grace", 15*time.Second, "graceful-drain deadline on shutdown")
@@ -147,6 +155,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		cacheSize:     *cacheSize,
 		storeDir:      *storeDir,
 		storeMaxBytes: *storeMaxBytes,
+		streamWindow:  *streamWindow,
 		templates:     *templates,
 		templateWarm:  *templateWarm,
 		grace:         *grace,
@@ -186,6 +195,7 @@ func serve(ctx context.Context, cfg serveConfig) error {
 		Workers:      cfg.workers,
 		QueueDepth:   cfg.queue,
 		CacheEntries: cfg.cacheSize,
+		StreamWindow: cfg.streamWindow,
 		Store:        st,
 		Templates:    tmpl,
 		Tracer:       cfg.tracer,

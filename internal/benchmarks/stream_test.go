@@ -1,0 +1,77 @@
+package benchmarks
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"trios/internal/qasm"
+)
+
+func countStreamGates(t *testing.T, r io.Reader) (gates, qubits int) {
+	t.Helper()
+	sr := qasm.NewReader(r)
+	for {
+		_, err := sr.NextGate()
+		if err == io.EOF {
+			return gates, sr.NumQubits()
+		}
+		if err != nil {
+			t.Fatalf("gate %d: %v", gates, err)
+		}
+		gates++
+	}
+}
+
+func TestStreamGeneratorsExactCountAndParse(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(n, gates int, seed int64) io.Reader
+	}{
+		{"qaoa", StreamQAOA},
+		{"cliffordt", StreamCliffordT},
+	}
+	for _, tc := range cases {
+		for _, want := range []int{1, 100, 5000} {
+			gates, qubits := countStreamGates(t, tc.mk(12, want, 1))
+			if gates != want {
+				t.Fatalf("%s: %d gates, want exactly %d", tc.name, gates, want)
+			}
+			if qubits != 12 {
+				t.Fatalf("%s: register %d, want 12", tc.name, qubits)
+			}
+		}
+	}
+}
+
+func TestStreamGeneratorsDeterministic(t *testing.T) {
+	a, err := io.ReadAll(StreamQAOA(10, 2000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(StreamQAOA(10, 2000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("StreamQAOA is not deterministic for a fixed seed")
+	}
+	c, err := io.ReadAll(StreamQAOA(10, 2000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("StreamQAOA ignores the seed")
+	}
+	d, err := io.ReadAll(StreamCliffordT(10, 2000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := io.ReadAll(StreamCliffordT(10, 2000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, e) {
+		t.Fatal("StreamCliffordT is not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,125 @@
+// Streaming facade: StreamCompile runs the windowed bounded-memory pipeline
+// (internal/stream) under the compiler's option vocabulary, threading the
+// same cost model, distance oracle, and per-pass metric reporting the
+// monolithic path uses. The monolithic Compile stays the golden arm:
+// with Optimize off the streamed output is byte-identical to
+// qasm.Emit(Compile(...).Physical) for any window size, and with Optimize
+// on it is simulation-equivalent (per-window saturation differs from
+// global saturation).
+package compiler
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"trios/internal/circuit"
+	"trios/internal/layout"
+	"trios/internal/obs"
+	"trios/internal/stream"
+	"trios/internal/topo"
+)
+
+// StreamOptions configures a streaming compile: the standard Options plus
+// the windowing knobs.
+type StreamOptions struct {
+	Options
+	// Window is the gate-window size (stream.DefaultWindow when zero).
+	Window int
+	// Parallel runs the pipeline stages as a channel-connected worker
+	// chain; output is bit-identical to the serial driver.
+	Parallel bool
+}
+
+// StreamResult summarizes a streaming compile. It mirrors Result's mapping
+// and metric fields but carries no circuits: the program went to the output
+// writer, window by window.
+type StreamResult struct {
+	// InputQubits is the declared input register; NumQubits the device
+	// register of the emitted program.
+	InputQubits  int
+	NumQubits    int
+	InputGates   int
+	EmittedGates int
+	Windows      int
+	SwapsAdded   int
+	Initial      []int
+	Final        []int
+	// ScheduledDuration is the ASAP makespan (us) of the emitted program,
+	// accumulated incrementally across windows.
+	ScheduledDuration float64
+	// Passes aggregates each streaming stage across all windows.
+	Passes []PassMetric
+	// CostModel names the cost model that drove layout and routing.
+	CostModel string
+}
+
+// StreamCompile compiles QASM from src to dst in bounded gate windows.
+// Restrictions vs Compile: only the Conventional and Trios pipelines with
+// the direct router are streamable (stochastic/lookahead routing and group
+// clustering are layer-based and need the whole circuit); templates are
+// bypassed (fragment matching needs the whole input); no fidelity estimate
+// is computed (it is a whole-circuit property). Greedy placement sees only
+// the first window's interaction graph. Per-window trace spans are
+// recorded under the span in ctx, if any.
+func StreamCompile(ctx context.Context, src io.Reader, dst io.Writer, g *topo.Graph, opts StreamOptions) (*StreamResult, error) {
+	if opts.Pipeline != Conventional && opts.Pipeline != TriosPipeline {
+		return nil, fmt.Errorf("compiler: pipeline %v is not streamable; use Compile", opts.Pipeline)
+	}
+	if opts.Router != RouteDirect {
+		return nil, fmt.Errorf("compiler: router %v is not streamable (layer-based routers need the whole circuit); use Compile", opts.Router)
+	}
+	cm, err := opts.costModel()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Calibration != nil {
+		if err := opts.Calibration.CheckGraph(g); err != nil {
+			return nil, err
+		}
+	}
+	weight, oracle := routerWeights(cm, g)
+	cfg := stream.Config{
+		Graph:           g,
+		TrioAware:       opts.Pipeline == TriosPipeline,
+		Mode:            opts.Mode,
+		Seed:            opts.Seed,
+		Optimize:        opts.Optimize,
+		LegacyOptimizer: opts.Optimizer == OptimizerLegacy,
+		Weight:          weight,
+		Oracle:          oracle,
+		Window:          opts.Window,
+		Parallel:        opts.Parallel,
+		Span:            obs.SpanFromContext(ctx),
+		Place: func(first *circuit.Circuit) (*layout.Layout, error) {
+			return initialLayout(first, g, opts.Options, cm)
+		},
+	}
+	res, err := stream.Compile(ctx, src, dst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &StreamResult{
+		InputQubits:       res.InputQubits,
+		NumQubits:         res.NumQubits,
+		InputGates:        res.InputGates,
+		EmittedGates:      res.EmittedGates,
+		Windows:           res.Windows,
+		SwapsAdded:        res.SwapsAdded,
+		Initial:           res.Initial,
+		Final:             res.Final,
+		ScheduledDuration: res.ScheduledDuration,
+		CostModel:         cm.Name(),
+	}
+	for _, m := range res.Stages {
+		out.Passes = append(out.Passes, PassMetric{
+			Pass:           m.Stage,
+			Duration:       m.Duration,
+			GatesBefore:    m.GatesIn,
+			GatesAfter:     m.GatesOut,
+			TwoQubitBefore: -1, // not tracked per stream stage
+			TwoQubitAfter:  -1,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package qasm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"trios/internal/circuit"
+)
+
+// MaxLineBytes bounds a single source line (and therefore a single
+// statement: the dialect Parse accepts never spans a statement across
+// lines). A line longer than this is rejected with a bounded error instead
+// of being buffered, so a hostile or corrupt million-gate stream cannot
+// force the reader to materialize an unbounded statement.
+const MaxLineBytes = 1 << 16
+
+// Reader is a pull-based streaming QASM parser: it reads the same dialect
+// as Parse from an io.Reader one gate at a time, holding only the current
+// line in memory. Semantics match Parse exactly on inputs that fit in
+// memory — same gates in the same order, same register-growth behavior,
+// and an error whenever Parse would error — so windowed compilation can
+// trust it as a drop-in front end.
+type Reader struct {
+	scan    *bufio.Scanner
+	c       *circuit.Circuit
+	regName string
+	hasCreg bool
+	lineNo  int
+	pending []circuit.Gate
+	next    int // index of the next pending gate to hand out
+	err     error
+}
+
+// NewReader wraps r in a streaming QASM reader. No input is consumed until
+// the first NextGate call.
+func NewReader(r io.Reader) *Reader {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 4096), MaxLineBytes)
+	return &Reader{scan: scan}
+}
+
+// NextGate returns the next gate in the stream. It returns io.EOF after the
+// final gate of a well-formed program; any other error is a parse failure
+// (including a program that ends without a qreg declaration, which Parse
+// also rejects). Once an error is returned, every later call returns the
+// same error.
+func (r *Reader) NextGate() (circuit.Gate, error) {
+	if r.err != nil {
+		return circuit.Gate{}, r.err
+	}
+	for r.next >= len(r.pending) {
+		if !r.scan.Scan() {
+			if err := r.scan.Err(); err != nil {
+				if errors.Is(err, bufio.ErrTooLong) {
+					err = fmt.Errorf("qasm: line %d exceeds %d bytes", r.lineNo+1, MaxLineBytes)
+				}
+				r.err = err
+			} else if r.c == nil {
+				r.err = fmt.Errorf("qasm: no qreg declaration found")
+			} else {
+				r.err = io.EOF
+			}
+			return circuit.Gate{}, r.err
+		}
+		r.lineNo++
+		if err := r.parseLine(r.scan.Text()); err != nil {
+			r.err = err
+			return circuit.Gate{}, r.err
+		}
+	}
+	g := r.pending[r.next]
+	r.next++
+	if r.next >= len(r.pending) {
+		r.pending = r.pending[:0]
+		r.next = 0
+	}
+	return g, nil
+}
+
+// parseLine feeds one source line through the shared statement parser and
+// queues any gates it produced. The scratch circuit keeps its register
+// state (name, size, growth) across lines but is drained of gates after
+// each line, so memory stays bounded by the longest line.
+func (r *Reader) parseLine(raw string) error {
+	line := raw
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	for _, stmt := range strings.Split(line, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if strings.HasPrefix(stmt, "creg") {
+			r.hasCreg = true
+		}
+		if err := parseStmt(stmt, &r.c, &r.regName); err != nil {
+			return fmt.Errorf("qasm: line %d: %w", r.lineNo, err)
+		}
+	}
+	if r.c != nil && len(r.c.Gates) > 0 {
+		r.pending = append(r.pending, r.c.Gates...)
+		r.c.Gates = r.c.Gates[:0]
+	}
+	return nil
+}
+
+// NumQubits reports the current register size: the declared qreg size,
+// grown if a parsed gate referenced a higher index (the same growth
+// semantics Parse has). Zero until the qreg declaration has been read.
+func (r *Reader) NumQubits() int {
+	if r.c == nil {
+		return 0
+	}
+	return r.c.NumQubits
+}
+
+// HasCreg reports whether a creg declaration has been read. In canonical
+// output a creg is present iff the program measures, so the emitter side of
+// a streaming pipeline uses this to reproduce Emit's header byte-for-byte.
+func (r *Reader) HasCreg() bool { return r.hasCreg }
+
+// Emitter is the push-based dual of Reader: it renders gates to an
+// io.Writer one at a time in exactly the byte format Emit produces, so a
+// windowed pipeline that feeds every gate of a circuit through EmitGate
+// writes output byte-identical to Emit of the whole circuit. Because the
+// header is written before any gate is seen, the caller must say up front
+// whether the program has a classical register (Emit derives this by
+// scanning for measures, which a stream cannot do).
+type Emitter struct {
+	w     *bufio.Writer
+	gates int
+	err   error
+}
+
+// NewEmitter writes the OpenQASM 2.0 header for an n-qubit program (with a
+// matching creg when withCreg is set) and returns an emitter for its gates.
+func NewEmitter(w io.Writer, n int, withCreg bool) (*Emitter, error) {
+	e := &Emitter{w: bufio.NewWriter(w)}
+	e.w.WriteString("OPENQASM 2.0;\n")
+	e.w.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(e.w, "qreg q[%d];\n", n)
+	if withCreg {
+		fmt.Fprintf(e.w, "creg c[%d];\n", n)
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = err
+		return nil, err
+	}
+	return e, nil
+}
+
+// EmitGate appends one gate statement. Rendering is identical to Emit's
+// per-gate lines. After an error (render or I/O), the emitter is dead and
+// every later call returns the same error.
+func (e *Emitter) EmitGate(g circuit.Gate) error {
+	if e.err != nil {
+		return e.err
+	}
+	line, err := emitGate(g)
+	if err != nil {
+		e.err = fmt.Errorf("qasm: gate %d: %w", e.gates, err)
+		return e.err
+	}
+	e.w.WriteString(line)
+	if err := e.w.WriteByte('\n'); err != nil {
+		e.err = err
+		return e.err
+	}
+	e.gates++
+	return nil
+}
+
+// Gates reports how many gates have been emitted.
+func (e *Emitter) Gates() int { return e.gates }
+
+// Flush forces buffered output to the underlying writer. Call it after the
+// final gate (and at window boundaries when incremental delivery matters,
+// e.g. chunked HTTP responses).
+func (e *Emitter) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = err
+	}
+	return e.err
+}

@@ -1,0 +1,94 @@
+package qasm
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzStreamParse locks in the streaming reader's contract against the
+// in-memory parser: on any input the reader must never panic; on inputs
+// whose lines fit the MaxLineBytes bound it must agree with Parse
+// gate-for-gate (same gates, same order, same final register size) and
+// error exactly when Parse errors; and an input with an oversized single
+// statement must be rejected with the bounded "exceeds" error rather than
+// buffered.
+func FuzzStreamParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\nccx q[0], q[1], q[2];\n",
+		"qreg q[2]; rz(pi/2) q[0]; u3(0.1, -pi, 3*pi) q[1]; measure q[0] -> c[0];",
+		"qreg q[5]; mcx q[0], q[1], q[2], q[3], q[4]; barrier q[0], q[1];",
+		"creg c[2]; qreg q[2]; swap q[0], q[1];",
+		"qreg q[2]; h q[99];",
+		"x q[0]; qreg q[1];",
+		"qreg q[1]; qreg p[1];",
+		"qreg q[2]; rz(pi/0) q[0];",
+		"qreg q[2]; h (q[0]);",
+		"// nothing but comments\n",
+		"qreg q[2];\r\ncx q[0], q[1];\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r := NewReader(strings.NewReader(src)) // must never panic
+		var gates []int
+		var names []string
+		var qubits [][]int
+		var rerr error
+		for {
+			g, err := r.NextGate()
+			if err != nil {
+				rerr = err
+				break
+			}
+			gates = append(gates, 1)
+			names = append(names, g.Name.String())
+			qubits = append(qubits, g.Qubits)
+			if len(gates) > 1<<16 {
+				t.Skip("input generates too many gates for the comparison")
+			}
+		}
+
+		oversized := false
+		for _, line := range strings.Split(src, "\n") {
+			if len(line) > MaxLineBytes {
+				oversized = true
+				break
+			}
+		}
+		if oversized {
+			// The reader must reject, never buffer, an oversized statement.
+			// (An earlier line may fail parsing first, which is also a
+			// rejection; what it must not do is succeed.)
+			if rerr == io.EOF {
+				t.Fatalf("reader accepted input with a line > %d bytes", MaxLineBytes)
+			}
+			return
+		}
+
+		c, perr := Parse(src)
+		if perr != nil {
+			if rerr == io.EOF {
+				t.Fatalf("reader accepted input Parse rejects (%v)", perr)
+			}
+			return
+		}
+		if rerr != io.EOF {
+			t.Fatalf("reader rejected input Parse accepts: %v", rerr)
+		}
+		if len(names) != len(c.Gates) {
+			t.Fatalf("reader saw %d gates, Parse saw %d", len(names), len(c.Gates))
+		}
+		for i, g := range c.Gates {
+			if names[i] != g.Name.String() || !reflect.DeepEqual(qubits[i], g.Qubits) {
+				t.Fatalf("gate %d: reader %s%v != Parse %s%v",
+					i, names[i], qubits[i], g.Name, g.Qubits)
+			}
+		}
+		if r.NumQubits() != c.NumQubits {
+			t.Fatalf("reader NumQubits %d != Parse %d", r.NumQubits(), c.NumQubits)
+		}
+	})
+}

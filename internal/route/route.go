@@ -152,28 +152,18 @@ type Baseline struct {
 	Oracle *topo.WeightedOracle
 }
 
-// Route implements Router.
+// Route implements Router. It is a one-window session: the incremental
+// path (Begin/Feed/Finish) is the single implementation, so windowed and
+// monolithic routing cannot drift apart.
 func (b *Baseline) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
-	s, err := newState(g, initial, b.Seed, b.Weight, b.Oracle)
+	ss, err := b.Begin(g, initial)
 	if err != nil {
 		return nil, err
 	}
-	for i, gate := range c.Gates {
-		switch {
-		case gate.Name == circuit.Barrier:
-			s.emitMapped(gate)
-		case len(gate.Qubits) == 1:
-			s.emitMapped(gate)
-		case len(gate.Qubits) == 2:
-			if err := s.routePair(gate.Qubits[0], gate.Qubits[1]); err != nil {
-				return nil, fmt.Errorf("route: gate %d: %w", i, err)
-			}
-			s.emitMapped(gate)
-		default:
-			return nil, fmt.Errorf("route: baseline router cannot handle %d-qubit gate %v (gate %d); decompose first", len(gate.Qubits), gate.Name, i)
-		}
+	if err := ss.Feed(c.Gates); err != nil {
+		return nil, err
 	}
-	return s.result(), nil
+	return ss.Finish(), nil
 }
 
 // routePair inserts SWAPs until virtual qubits va and vb are adjacent.

@@ -24,39 +24,17 @@ type Trios struct {
 	Oracle *topo.WeightedOracle
 }
 
-// Route implements Router.
+// Route implements Router. Like Baseline.Route it is a one-window session
+// over the incremental Begin/Feed/Finish path.
 func (t *Trios) Route(c *circuit.Circuit, g *topo.Graph, initial *layout.Layout) (*Result, error) {
-	s, err := newState(g, initial, t.Seed, t.Weight, t.Oracle)
+	ss, err := t.Begin(g, initial)
 	if err != nil {
 		return nil, err
 	}
-	for i, gate := range c.Gates {
-		switch {
-		case gate.Name == circuit.Barrier:
-			s.emitMapped(gate)
-		case len(gate.Qubits) == 1:
-			s.emitMapped(gate)
-		case len(gate.Qubits) == 2:
-			if err := s.routePair(gate.Qubits[0], gate.Qubits[1]); err != nil {
-				return nil, fmt.Errorf("route: gate %d: %w", i, err)
-			}
-			s.emitMapped(gate)
-		case gate.Name == circuit.CCX:
-			if err := s.routeTrio(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2]); err != nil {
-				return nil, fmt.Errorf("route: gate %d: %w", i, err)
-			}
-			s.emitMapped(gate)
-		case gate.Name == circuit.RCCX || gate.Name == circuit.RCCXdg:
-			// Margolus gates additionally need the target in the middle.
-			if err := s.routeTrioRole(gate.Qubits[0], gate.Qubits[1], gate.Qubits[2], gate.Qubits[2]); err != nil {
-				return nil, fmt.Errorf("route: gate %d: %w", i, err)
-			}
-			s.emitMapped(gate)
-		default:
-			return nil, fmt.Errorf("route: trios router cannot handle gate %v (gate %d); first-pass decomposition should leave only 1q, 2q and ccx gates", gate.Name, i)
-		}
+	if err := ss.Feed(c.Gates); err != nil {
+		return nil, err
 	}
-	return s.result(), nil
+	return ss.Finish(), nil
 }
 
 // trioConnected reports whether the three physical positions form a

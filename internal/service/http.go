@@ -23,7 +23,8 @@ const maxRequestBytes = 4 << 20
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /v1/compile       — compile QASM (or a named benchmark) for a device
+//	POST /v1/compile        — compile QASM (or a named benchmark) for a device
+//	POST /v1/compile/stream — windowed streaming compile of a raw QASM body
 //	GET  /v1/devices       — the device registry
 //	GET  /v1/calibrations  — the calibration registry
 //	GET  /healthz          — liveness + build identity (503 while draining)
@@ -32,6 +33,7 @@ const maxRequestBytes = 4 << 20
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/compile/stream", s.handleCompileStream)
 	mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	mux.HandleFunc("GET /v1/calibrations", s.handleCalibrations)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -50,6 +52,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/EnableFullDuplex through this wrapper — the streaming compile
+// endpoint needs both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps the mux with metrics and, for /v1/ routes, tracing: each
 // request gets a root span (joined to the caller's trace when a W3C

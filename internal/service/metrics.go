@@ -86,8 +86,15 @@ type metrics struct {
 	storeDecodeErrors uint64            // store bodies that failed to unmarshal
 	passHist          map[string]*histogram
 
+	// Streaming-compile counters: outcomes (ok | error | rejected) plus the
+	// cumulative gate and window volume that flowed through the endpoint.
+	streams       map[string]uint64
+	streamGates   uint64
+	streamWindows uint64
+
 	compileHist *histogram // full compile wall-clock (cache misses only)
 	httpHist    *histogram // request wall-clock as the handler saw it
+	streamHist  *histogram // streaming compile wall-clock (successes only)
 }
 
 func newMetrics() *metrics {
@@ -96,8 +103,10 @@ func newMetrics() *metrics {
 		byCode:      make(map[int]uint64),
 		outcomes:    make(map[string]uint64),
 		passHist:    make(map[string]*histogram),
+		streams:     make(map[string]uint64),
 		compileHist: newHistogram(),
 		httpHist:    newHistogram(),
+		streamHist:  newHistogram(),
 	}
 }
 
@@ -117,6 +126,16 @@ func (m *metrics) countOutcome(outcome string) {
 func (m *metrics) countRejected() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// countStream records one streaming-compile outcome and, for successes, the
+// gate and window volume it moved.
+func (m *metrics) countStream(outcome string, gates, windows int) {
+	m.mu.Lock()
+	m.streams[outcome]++
+	m.streamGates += uint64(gates)
+	m.streamWindows += uint64(windows)
 	m.mu.Unlock()
 }
 
@@ -180,6 +199,17 @@ func (m *metrics) write(w io.Writer, cache CacheStats, storeStats *store.Stats, 
 		fmt.Fprintf(w, "triosd_compile_outcomes_total{outcome=%q} %d\n", o, m.outcomes[o])
 	}
 	fmt.Fprintf(w, "# TYPE triosd_rejected_total counter\ntriosd_rejected_total %d\n", m.rejected)
+	souts := make([]string, 0, len(m.streams))
+	for o := range m.streams {
+		souts = append(souts, o)
+	}
+	sort.Strings(souts)
+	fmt.Fprintf(w, "# TYPE triosd_stream_total counter\n")
+	for _, o := range souts {
+		fmt.Fprintf(w, "triosd_stream_total{outcome=%q} %d\n", o, m.streams[o])
+	}
+	fmt.Fprintf(w, "# TYPE triosd_stream_gates_total counter\ntriosd_stream_gates_total %d\n", m.streamGates)
+	fmt.Fprintf(w, "# TYPE triosd_stream_windows_total counter\ntriosd_stream_windows_total %d\n", m.streamWindows)
 	passes := make([]string, 0, len(m.passHist))
 	for p := range m.passHist {
 		passes = append(passes, p)
@@ -222,6 +252,8 @@ func (m *metrics) write(w io.Writer, cache CacheStats, storeStats *store.Stats, 
 	m.httpHist.write(w, "triosd_http_seconds", "")
 	fmt.Fprintf(w, "# TYPE triosd_compile_seconds histogram\n")
 	m.compileHist.write(w, "triosd_compile_seconds", "")
+	fmt.Fprintf(w, "# TYPE triosd_stream_seconds histogram\n")
+	m.streamHist.write(w, "triosd_stream_seconds", "")
 	fmt.Fprintf(w, "# TYPE triosd_pass_seconds histogram\n")
 	for i, p := range passes {
 		passHists[i].write(w, "triosd_pass_seconds", fmt.Sprintf("pass=%q", p))

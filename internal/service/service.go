@@ -40,6 +40,10 @@ type Config struct {
 	// artifact key, so enabling or swapping the library never aliases cached
 	// artifacts compiled without it.
 	Templates *template.Store
+	// StreamWindow is the default gate-window size for POST
+	// /v1/compile/stream (requests may override per-call with ?window=N;
+	// <= 0 means stream.DefaultWindow).
+	StreamWindow int
 	// Tracer, when non-nil, records a span tree per /v1/ request (cache probe,
 	// singleflight, queue wait, per-pass compile, write-behind flush) into an
 	// in-process ring served at GET /debug/traces. Nil disables tracing; every
@@ -80,6 +84,11 @@ type Service struct {
 	queue   chan compiler.Job
 	workers int // resolved worker count (cfg.Workers or GOMAXPROCS)
 
+	// streamSem admission-controls /v1/compile/stream: streaming compiles
+	// bypass the job queue (each holds its connection for the whole compile)
+	// but share the worker-count parallelism budget.
+	streamSem chan struct{}
+
 	// Write-behind machinery for the persistent tier: cold compiles enqueue
 	// here and a single writer goroutine lands them on disk off the request
 	// path. Close stops the writer only after sweeping the queue dry, so a
@@ -119,14 +128,15 @@ func New(cfg Config) *Service {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:     cfg,
-		cache:   NewCache(cfg.CacheEntries),
-		metrics: newMetrics(),
-		queue:   make(chan compiler.Job, cfg.QueueDepth),
-		workers: workers,
-		waiters: make(map[string]chan compiler.JobResult),
-		cancel:  cancel,
-		drained: make(chan struct{}),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries),
+		metrics:   newMetrics(),
+		queue:     make(chan compiler.Job, cfg.QueueDepth),
+		workers:   workers,
+		streamSem: make(chan struct{}, workers),
+		waiters:   make(map[string]chan compiler.JobResult),
+		cancel:    cancel,
+		drained:   make(chan struct{}),
 	}
 	if cfg.Store != nil {
 		s.store = cfg.Store

@@ -26,6 +26,14 @@
 #                             (for `make fleet`; no benchmark phases)
 set -eu
 
+# Parallelism floor: mirror the Makefile's `GOMAXPROCS ?= 4` and export it,
+# so the proxy and loadgen see the same parallelism under a standalone run
+# as under `make bench-fleet`. Replicas are still pinned separately: each
+# start_replica sets GOMAXPROCS=$REPLICA_GOMAXPROCS explicitly, which
+# overrides this export for the daemons only.
+GOMAXPROCS=${GOMAXPROCS:-4}
+export GOMAXPROCS
+
 GO=${GO:-go}
 RACE=${TRIOSD_RACE:-}
 DUR=${FLEET_DURATION:-5s}

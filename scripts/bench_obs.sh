@@ -19,6 +19,12 @@
 #   OBS_OUT             report path (default: BENCH_obs.json)
 set -eu
 
+# Parallelism floor: mirror the Makefile's `GOMAXPROCS ?= 4` and export it,
+# so a standalone run measures the same serving parallelism as
+# `make bench-obs`. Callers can still override.
+GOMAXPROCS=${GOMAXPROCS:-4}
+export GOMAXPROCS
+
 GO=${GO:-go}
 ADDR=${TRIOSD_ADDR:-127.0.0.1:8423}
 DUR=${OBS_DURATION:-5s}

@@ -12,6 +12,14 @@
 #   LOADGEN_OUT         report path (default: BENCH_service.json)
 set -eu
 
+# Parallelism floor: mirror the Makefile's `GOMAXPROCS ?= 4` and export it,
+# so a standalone `sh scripts/bench_service.sh` measures the same serving
+# parallelism as `make bench-service` — without this the daemon and loadgen
+# inherit the runner's core count and the report records gomaxprocs 1 on
+# one-core CI. Callers can still override: GOMAXPROCS=8 sh scripts/....
+GOMAXPROCS=${GOMAXPROCS:-4}
+export GOMAXPROCS
+
 GO=${GO:-go}
 ADDR=${TRIOSD_ADDR:-127.0.0.1:8421}
 DUR=${LOADGEN_DURATION:-5s}

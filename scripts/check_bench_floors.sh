@@ -25,6 +25,16 @@
 #                      obs-off both present and the on-phase traced end to
 #                      end (traced_requests > 0, slowest_trace recorded)
 #
+#   BENCH_stream.json  (optional fifth argument) equivalence_ok == true,
+#                      peak_rss_bytes <= window_budget_bytes (the windowed
+#                      pipeline's memory claim: the million-gate compile
+#                      stays under the report's own window budget), and
+#                      pipeline_vs_serial_speedup >= STREAM_MIN_SPEEDUP
+#                      (default 1.2) — the speedup floor, like the sim one,
+#                      applies only on multi-core hosts; the skip is
+#                      auditable via num_cpu in the JSON. The RSS floor
+#                      applies everywhere (memory needs no second core).
+#
 # The parallel floor only applies on multi-core hosts: on a single-core
 # machine goroutines cannot run concurrently, so the speedup is ~1.0 by
 # physics, not by regression (the JSON records num_cpu so the skip is
@@ -37,14 +47,16 @@ KERNEL_MIN_SPEEDUP="${KERNEL_MIN_SPEEDUP:-1.2}"
 OPT_MIN_BETTER="${OPT_MIN_BETTER:-8}"
 TEMPLATE_MIN_SPEEDUP="${TEMPLATE_MIN_SPEEDUP:-1.5}"
 OBS_MIN_RATIO="${OBS_MIN_RATIO:-0.95}"
+STREAM_MIN_SPEEDUP="${STREAM_MIN_SPEEDUP:-1.2}"
 SIM_JSON="${1:-BENCH_sim.json}"
 KERNEL_JSON="${2:-BENCH_kernels.json}"
 OPT_JSON="${3:-}"
 OBS_JSON="${4:-}"
+STREAM_JSON="${5:-}"
 
 python3 - "$SIM_JSON" "$KERNEL_JSON" "$SIM_MIN_SPEEDUP" "$KERNEL_MIN_SPEEDUP" \
     "$OPT_JSON" "$OPT_MIN_BETTER" "$TEMPLATE_MIN_SPEEDUP" \
-    "$OBS_JSON" "$OBS_MIN_RATIO" <<'PY'
+    "$OBS_JSON" "$OBS_MIN_RATIO" "$STREAM_JSON" "$STREAM_MIN_SPEEDUP" <<'PY'
 import json
 import sys
 
@@ -53,6 +65,7 @@ sim_path, kernel_path, sim_min, kernel_min = (
 opt_path, opt_min_better, template_min = (
     sys.argv[5], int(sys.argv[6]), float(sys.argv[7]))
 obs_path, obs_min_ratio = sys.argv[8], float(sys.argv[9])
+stream_path, stream_min = sys.argv[10], float(sys.argv[11])
 failed = False
 
 
@@ -156,6 +169,44 @@ if obs_path:
         if off.get("traced_requests", 0) != 0:
             fail(f"{obs_path}: obs-off phase unexpectedly traced "
                  f"{off['traced_requests']} requests")
+
+if stream_path and stream_path != "-":
+    stream = json.load(open(stream_path))
+    if not stream.get("equivalence_ok", False):
+        fail(f"{stream_path}: equivalence_ok is not true — the streamed "
+             f"output diverged from the monolithic golden arm")
+    else:
+        print(f"{stream_path}: streaming output equivalent to the "
+              f"monolithic arm ok ({stream.get('equivalence_gates')} gates)")
+    rss = stream.get("peak_rss_bytes")
+    budget = stream.get("window_budget_bytes")
+    if rss is None or budget is None:
+        fail(f"{stream_path}: peak_rss_bytes / window_budget_bytes missing")
+    elif rss > budget:
+        fail(f"{stream_path}: peak_rss_bytes {rss} > window budget {budget} "
+             f"({stream.get('large_gates')} gates, window "
+             f"{stream.get('window')})")
+    else:
+        print(f"{stream_path}: peak RSS {rss / 2**20:.1f} MiB <= budget "
+              f"{budget / 2**20:.0f} MiB ok ({stream.get('large_gates')} "
+              f"gates through window {stream.get('window')}, "
+              f"rss_ratio {stream.get('rss_ratio', 0):.2f} vs "
+              f"{stream.get('small_gates')} gates)")
+    cores = stream.get("num_cpu", 0)
+    speedup = stream.get("pipeline_vs_serial_speedup")
+    if cores < 2:
+        print(f"{stream_path}: single-core host (num_cpu={cores}); "
+              f"pipeline floor skipped, "
+              f"pipeline_vs_serial_speedup={speedup}")
+    elif speedup is None:
+        fail(f"{stream_path}: pipeline_vs_serial_speedup missing on a "
+             f"{cores}-core host")
+    elif speedup < stream_min:
+        fail(f"{stream_path}: pipeline_vs_serial_speedup {speedup:.2f} "
+             f"< floor {stream_min}")
+    else:
+        print(f"{stream_path}: pipeline_vs_serial_speedup {speedup:.2f} "
+              f">= {stream_min} ok ({cores} cores)")
 
 sys.exit(1 if failed else 0)
 PY
